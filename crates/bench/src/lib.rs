@@ -1,0 +1,138 @@
+//! Shared machinery for the experiment harness.
+//!
+//! Every bench target regenerates one table or figure of the paper's
+//! evaluation section, printing the same rows/series the paper reports.
+//! Calibration effort defaults to `Full` (paper-scale sweeps); set
+//! `DLPERF_EFFORT=quick` for a fast smoke run of the whole harness.
+//!
+//! The Fig. 9 evaluation is expensive (three devices × three workloads ×
+//! four batch sizes, each with a full analysis track); its result rows are
+//! cached as JSON under `target/dlperf-cache/` so that `table05_e2e_stats`
+//! and the ablations reuse them.
+
+use std::path::PathBuf;
+
+use dlperf_core::baselines;
+use dlperf_core::pipeline::Pipeline;
+use dlperf_core::report::PredictionRow;
+use dlperf_gpusim::DeviceSpec;
+use dlperf_graph::Graph;
+use dlperf_kernels::CalibrationEffort;
+use dlperf_models::DlrmConfig;
+use dlperf_trace::engine::ExecutionEngine;
+
+/// Calibration effort from the `DLPERF_EFFORT` environment variable
+/// (`quick` → Quick, anything else → Full).
+pub fn effort() -> CalibrationEffort {
+    match std::env::var("DLPERF_EFFORT").as_deref() {
+        Ok("quick") | Ok("QUICK") => CalibrationEffort::Quick,
+        _ => CalibrationEffort::Full,
+    }
+}
+
+/// Iterations used when measuring ground truth (paper: 100-iteration trace
+/// files; quick mode uses fewer).
+pub fn measure_iters() -> usize {
+    match effort() {
+        CalibrationEffort::Quick => 15,
+        CalibrationEffort::Full => 100,
+    }
+}
+
+/// Measures (non-profiled) mean E2E and mean active time of a graph.
+pub fn measure_graph(device: &DeviceSpec, graph: &Graph, seed: u64) -> (f64, f64) {
+    let mut engine = ExecutionEngine::new(device.clone(), seed);
+    engine.set_profiling(false);
+    let runs = engine.run_iterations(graph, measure_iters()).expect("workload executes");
+    let e2e = runs.iter().map(|r| r.e2e_us).sum::<f64>() / runs.len() as f64;
+    let active = runs.iter().map(|r| r.active_us()).sum::<f64>() / runs.len() as f64;
+    (e2e, active)
+}
+
+/// The batch sizes of the Fig. 7/8/9 evaluations.
+pub const BATCH_SIZES: [u64; 4] = [256, 512, 1024, 2048];
+
+/// Cache directory for expensive intermediate results.
+pub fn cache_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../target/dlperf-cache");
+    std::fs::create_dir_all(&dir).expect("can create cache dir");
+    dir
+}
+
+/// Loads cached JSON if present, otherwise computes and stores it.
+pub fn load_or_compute<T, F>(name: &str, compute: F) -> T
+where
+    T: serde::Serialize + serde::de::DeserializeOwned,
+    F: FnOnce() -> T,
+{
+    let path = cache_dir().join(format!("{name}.json"));
+    if let Ok(s) = std::fs::read_to_string(&path) {
+        if let Ok(v) = serde_json::from_str(&s) {
+            eprintln!("[cache] reusing {}", path.display());
+            return v;
+        }
+    }
+    let v = compute();
+    std::fs::write(&path, serde_json::to_string(&v).expect("serializable")).expect("cache write");
+    v
+}
+
+/// The full Fig. 9 evaluation: per (device × workload × batch) rows with
+/// measured/predicted E2E and active times plus baselines.
+pub fn e2e_evaluation() -> Vec<PredictionRow> {
+    let effort = effort();
+    let mut rows = Vec::new();
+    for device in DeviceSpec::paper_devices() {
+        eprintln!("== calibrating + evaluating on {} ==", device.name);
+        let registry =
+            dlperf_kernels::ModelRegistry::calibrate(&device, effort, 0x5151);
+        for &batch in &BATCH_SIZES {
+            let graphs: Vec<Graph> =
+                DlrmConfig::paper_configs(batch).iter().map(|c| c.build()).collect();
+            let pipeline = Pipeline::analyze_with_registry(
+                &device,
+                &graphs,
+                registry.clone(),
+                measure_iters(),
+                batch,
+            );
+            for (wi, g) in graphs.iter().enumerate() {
+                let (measured_e2e, measured_active) =
+                    measure_graph(&device, g, batch ^ 0x51 ^ ((wi as u64 + 1) << 16));
+                let individual = pipeline.predict_individual(g).expect("lowers");
+                let shared = pipeline.predict(g).expect("lowers");
+                let kernel_only =
+                    baselines::kernel_only(g, pipeline.predictor().registry()).expect("lowers");
+                rows.push(PredictionRow {
+                    workload: g.name.clone(),
+                    device: device.name.clone(),
+                    batch,
+                    measured_e2e_us: measured_e2e,
+                    measured_active_us: measured_active,
+                    pred_e2e_us: individual.e2e_us,
+                    pred_shared_e2e_us: shared.e2e_us,
+                    pred_active_us: individual.active_us,
+                    kernel_only_us: kernel_only,
+                });
+            }
+        }
+    }
+    rows
+}
+
+/// Cached variant of [`e2e_evaluation`], keyed by effort level.
+pub fn e2e_evaluation_cached() -> Vec<PredictionRow> {
+    let key = match effort() {
+        CalibrationEffort::Quick => "fig09_rows_quick",
+        CalibrationEffort::Full => "fig09_rows_full",
+    };
+    load_or_compute(key, e2e_evaluation)
+}
+
+/// Prints a horizontal rule with a title.
+pub fn header(title: &str) {
+    println!("\n{}", "=".repeat(78));
+    println!("{title}");
+    println!("{}", "=".repeat(78));
+}

@@ -1,0 +1,196 @@
+//! The Fig. 3 prediction pipeline.
+//!
+//! *Analysis Track* (run once per device): execute the input workloads on
+//! the (simulated) hardware with profiling on, break down their traces,
+//! extract T1–T5 overhead statistics, run the kernel microbenchmarks, and
+//! fit the kernel performance models. The products — a
+//! [`ModelRegistry`] and an [`OverheadStats`] database — are the reusable
+//! assets (blue cylinders).
+//!
+//! *Prediction Track* (run per what-if): extract/transform an execution
+//! graph and price it with Algorithm 1. No hardware needed.
+
+use dlperf_gpusim::DeviceSpec;
+use dlperf_graph::lower::LowerError;
+use dlperf_graph::Graph;
+use dlperf_kernels::{CalibrationEffort, ModelRegistry};
+use dlperf_trace::engine::ExecutionEngine;
+use dlperf_trace::{OverheadStats, Trace};
+
+use crate::predictor::{E2ePredictor, Prediction};
+
+/// A calibrated pipeline: kernel models plus an overhead database for one
+/// device, ready to price execution graphs.
+#[derive(Debug, Clone)]
+pub struct Pipeline {
+    device: DeviceSpec,
+    predictor: E2ePredictor,
+    /// Per-workload overhead databases (workload name → stats), kept so the
+    /// caller can switch between individual and shared overheads.
+    per_workload: Vec<(String, OverheadStats)>,
+}
+
+impl Pipeline {
+    /// Runs the analysis track: profiles each workload for `iters`
+    /// iterations on `device`, extracts overheads, and calibrates the
+    /// kernel models. The resulting predictor uses the *shared* (merged)
+    /// overhead database by default.
+    ///
+    /// # Panics
+    /// Panics if `workloads` is empty, `iters` is zero, or a workload fails
+    /// to lower (malformed graph).
+    pub fn analyze(
+        device: &DeviceSpec,
+        workloads: &[Graph],
+        effort: CalibrationEffort,
+        iters: usize,
+        seed: u64,
+    ) -> Self {
+        let registry = ModelRegistry::calibrate(device, effort, seed ^ 0xabcd);
+        Self::analyze_with_registry(device, workloads, registry, iters, seed)
+    }
+
+    /// Like [`Pipeline::analyze`] but reusing an already-calibrated kernel
+    /// registry — calibration depends only on the device, so one registry
+    /// serves any number of workload analyses.
+    ///
+    /// # Panics
+    /// Same as [`Pipeline::analyze`].
+    pub fn analyze_with_registry(
+        device: &DeviceSpec,
+        workloads: &[Graph],
+        registry: ModelRegistry,
+        iters: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(!workloads.is_empty(), "analysis needs at least one workload");
+        assert!(iters > 0, "analysis needs at least one iteration");
+
+        let mut per_workload = Vec::new();
+        for (i, g) in workloads.iter().enumerate() {
+            let mut engine = ExecutionEngine::new(device.clone(), seed.wrapping_add(i as u64));
+            let runs = engine
+                .run_iterations(g, iters)
+                .unwrap_or_else(|e| panic!("workload `{}` failed to execute: {e}", g.name));
+            let traces: Vec<Trace> = runs.into_iter().map(|r| r.trace).collect();
+            per_workload.push((g.name.clone(), OverheadStats::extract(&traces, true)));
+        }
+        let shared = OverheadStats::merge(&per_workload.iter().map(|(_, s)| s).collect::<Vec<_>>());
+        Pipeline {
+            device: device.clone(),
+            predictor: E2ePredictor::new(registry, shared),
+            per_workload,
+        }
+    }
+
+    /// Builds a pipeline from precomputed assets (e.g. a JSON overhead
+    /// database from another session).
+    pub fn from_assets(device: DeviceSpec, registry: ModelRegistry, overheads: OverheadStats) -> Self {
+        Pipeline { device, predictor: E2ePredictor::new(registry, overheads), per_workload: Vec::new() }
+    }
+
+    /// The device this pipeline models.
+    pub fn device(&self) -> &DeviceSpec {
+        &self.device
+    }
+
+    /// The predictor (shared-overhead configuration).
+    pub fn predictor(&self) -> &E2ePredictor {
+        &self.predictor
+    }
+
+    /// A predictor bound to one workload's *individual* overhead database —
+    /// the paper's `E2E` setting, vs the default `shared_E2E`.
+    ///
+    /// Returns `None` if that workload was not part of the analysis.
+    pub fn predictor_for(&self, workload: &str) -> Option<E2ePredictor> {
+        self.per_workload.iter().find(|(n, _)| n == workload).map(|(_, stats)| {
+            let mut p = self.predictor.clone();
+            p.set_overheads(stats.clone());
+            p
+        })
+    }
+
+    /// Names of the workloads analyzed.
+    pub fn workloads(&self) -> Vec<&str> {
+        self.per_workload.iter().map(|(n, _)| n.as_str()).collect()
+    }
+
+    /// Predicts with the shared overhead database.
+    ///
+    /// # Errors
+    /// Returns a [`LowerError`] on malformed graphs.
+    pub fn predict(&self, graph: &Graph) -> Result<Prediction, LowerError> {
+        self.predictor.predict(graph)
+    }
+
+    /// Predicts with the workload's individual overheads when available,
+    /// falling back to shared.
+    ///
+    /// # Errors
+    /// Returns a [`LowerError`] on malformed graphs.
+    pub fn predict_individual(&self, graph: &Graph) -> Result<Prediction, LowerError> {
+        match self.predictor_for(&graph.name) {
+            Some(p) => p.predict(graph),
+            None => self.predict(graph),
+        }
+    }
+
+    /// Serializes the shared overhead database to JSON (the maintained
+    /// "overhead database for large-scale predictions").
+    pub fn shared_overheads_json(&self) -> String {
+        // The predictor's stats are the shared merge by construction.
+        let all: Vec<&OverheadStats> = self.per_workload.iter().map(|(_, s)| s).collect();
+        OverheadStats::merge(&all).to_json()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlperf_kernels::CalibrationEffort;
+    use dlperf_models::DlrmConfig;
+
+    fn small(name_batch: u64) -> Graph {
+        DlrmConfig {
+            rows_per_table: vec![50_000; 4],
+            ..DlrmConfig::default_config(name_batch)
+        }
+        .build()
+    }
+
+    #[test]
+    fn analyze_then_predict_round_trips() {
+        let dev = DeviceSpec::v100();
+        let workloads = vec![small(256), DlrmConfig::ddp_config(256).build()];
+        let pipe = Pipeline::analyze(&dev, &workloads, CalibrationEffort::Quick, 10, 3);
+        assert_eq!(pipe.workloads().len(), 2);
+        let p = pipe.predict(&workloads[0]).unwrap();
+        assert!(p.e2e_us > 0.0);
+        let pi = pipe.predict_individual(&workloads[0]).unwrap();
+        assert!(pi.e2e_us > 0.0);
+        assert_ne!(p.e2e_us, pi.e2e_us, "shared and individual overheads should differ");
+    }
+
+    #[test]
+    fn predictor_for_unknown_workload_is_none() {
+        let dev = DeviceSpec::v100();
+        let workloads = vec![small(128)];
+        let pipe = Pipeline::analyze(&dev, &workloads, CalibrationEffort::Quick, 5, 4);
+        assert!(pipe.predictor_for("nonexistent").is_none());
+    }
+
+    #[test]
+    fn overhead_db_exports_json() {
+        let dev = DeviceSpec::p100();
+        let pipe = Pipeline::analyze(&dev, &[small(128)], CalibrationEffort::Quick, 5, 5);
+        let json = pipe.shared_overheads_json();
+        assert!(OverheadStats::from_json(&json).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one workload")]
+    fn empty_workloads_panic() {
+        Pipeline::analyze(&DeviceSpec::v100(), &[], CalibrationEffort::Quick, 5, 0);
+    }
+}

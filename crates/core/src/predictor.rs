@@ -1,0 +1,328 @@
+//! Algorithm 1: the critical-path E2E training-time predictor.
+//!
+//! For every op the predictor adds T1 (and T2 when the op launches kernels)
+//! to the CPU clock; each kernel then starts at
+//! `max(gpu_time + gap, cpu_time + T4/2, dependencies)` — so host overheads
+//! that are not hidden behind running kernels become predicted device idle
+//! time — and its predicted duration advances the GPU clock while T4/T5
+//! advance the CPU clock. T3 closes the op. The predicted per-batch time is
+//! `max(cpu_time, gpu_time)` at the end of the graph.
+//!
+//! Two generalizations over the paper's listing: multiple GPU clocks (one
+//! per stream, honouring the *parallelize* transformation) and tensor-level
+//! data dependencies (from the execution graph), both of which degenerate
+//! to Algorithm 1 on single-stream graphs.
+
+use std::collections::HashMap;
+
+use dlperf_graph::lower::{self, LowerError};
+use dlperf_graph::{Graph, TensorId};
+use dlperf_kernels::ModelRegistry;
+use dlperf_trace::{OverheadStats, OverheadType};
+
+/// How T4 (CUDA runtime call time) is priced.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum T4Policy {
+    /// A fixed approximation for all runtime functions; the paper uses
+    /// 10 µs on its platforms.
+    Fixed(f64),
+    /// The measured per-op mean from the overhead database.
+    Measured,
+}
+
+/// Which granularity of the overhead database to read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OverheadGranularity {
+    /// Per-(op type, overhead type) means — the paper's `E2E` setting.
+    PerOp,
+    /// Type-level means only — the coarsest ablation (one number per Tn).
+    TypeOnly,
+}
+
+/// Output of one prediction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Prediction {
+    /// Predicted E2E per-batch training time (µs).
+    pub e2e_us: f64,
+    /// Predicted GPU active time: the sum of predicted kernel times (µs).
+    pub active_us: f64,
+    /// Final CPU clock (µs).
+    pub cpu_us: f64,
+    /// Final GPU clock (max across streams, µs).
+    pub gpu_us: f64,
+}
+
+impl Prediction {
+    /// Predicted GPU utilization.
+    pub fn utilization(&self) -> f64 {
+        if self.e2e_us > 0.0 {
+            (self.active_us / self.e2e_us).min(1.0)
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The E2E predictor: kernel models + overhead database + policies.
+#[derive(Debug, Clone)]
+pub struct E2ePredictor {
+    registry: ModelRegistry,
+    overheads: OverheadStats,
+    t4_policy: T4Policy,
+    granularity: OverheadGranularity,
+    /// Device-side gap between dependent kernels (the paper's `+1` in
+    /// Algorithm 1 line 11); 0 by default.
+    kernel_gap_us: f64,
+    /// Fraction of T4 after which a launched kernel may start on the device
+    /// (Algorithm 1 uses `cpu_time + T4/2`, i.e. 0.5).
+    launch_factor: f64,
+}
+
+impl E2ePredictor {
+    /// Creates a predictor with the paper's defaults: per-op overheads and
+    /// a fixed T4 approximation.
+    pub fn new(registry: ModelRegistry, overheads: OverheadStats) -> Self {
+        E2ePredictor {
+            registry,
+            overheads,
+            t4_policy: T4Policy::Fixed(12.0),
+            granularity: OverheadGranularity::PerOp,
+            kernel_gap_us: 0.0,
+            launch_factor: 0.5,
+        }
+    }
+
+    /// Sets the T4 policy (builder style).
+    pub fn with_t4_policy(mut self, policy: T4Policy) -> Self {
+        self.t4_policy = policy;
+        self
+    }
+
+    /// Sets the overhead-database granularity (builder style).
+    pub fn with_granularity(mut self, granularity: OverheadGranularity) -> Self {
+        self.granularity = granularity;
+        self
+    }
+
+    /// Sets the inter-kernel device gap (builder style).
+    pub fn with_kernel_gap(mut self, gap_us: f64) -> Self {
+        self.kernel_gap_us = gap_us;
+        self
+    }
+
+    /// Sets the launch-point factor: a kernel may start at
+    /// `cpu_time + factor x T4` (builder style; Algorithm 1 uses 0.5).
+    pub fn with_launch_factor(mut self, factor: f64) -> Self {
+        assert!((0.0..=1.0).contains(&factor), "launch factor must be in [0, 1]");
+        self.launch_factor = factor;
+        self
+    }
+
+    /// Replaces the overhead database (e.g. swapping individual for shared).
+    pub fn set_overheads(&mut self, overheads: OverheadStats) {
+        self.overheads = overheads;
+    }
+
+    /// The kernel-model registry.
+    pub fn registry(&self) -> &ModelRegistry {
+        &self.registry
+    }
+
+    fn overhead(&self, op_key: &str, ty: OverheadType) -> f64 {
+        match self.granularity {
+            OverheadGranularity::PerOp => self.overheads.mean_us(op_key, ty),
+            OverheadGranularity::TypeOnly => {
+                self.overheads.type_stat(ty).map(|s| s.mean_us).unwrap_or(0.0)
+            }
+        }
+    }
+
+    fn t4(&self, op_key: &str) -> f64 {
+        match self.t4_policy {
+            T4Policy::Fixed(v) => v,
+            T4Policy::Measured => self.overhead(op_key, OverheadType::T4),
+        }
+    }
+
+    /// Predicts the per-batch training time of `graph` (Algorithm 1).
+    ///
+    /// # Errors
+    /// Returns a [`LowerError`] if an op's tensor shapes are inconsistent.
+    pub fn predict(&self, graph: &Graph) -> Result<Prediction, LowerError> {
+        let mut cpu = 0.0f64;
+        let mut streams: HashMap<usize, f64> = HashMap::new();
+        let mut tensor_ready: HashMap<TensorId, f64> = HashMap::new();
+        let mut active = 0.0f64;
+
+        for node in graph.nodes() {
+            let key = node.op.overhead_key();
+            cpu += self.overhead(key, OverheadType::T1);
+
+            let kernels = lower::try_kernels(graph, node)?;
+            let dep_ready = node
+                .inputs
+                .iter()
+                .filter_map(|t| tensor_ready.get(t))
+                .fold(0.0f64, |a, &b| a.max(b));
+
+            let mut last_end: Option<f64> = None;
+            if kernels.is_empty() {
+                cpu += self.overhead(key, OverheadType::T5);
+            } else {
+                cpu += self.overhead(key, OverheadType::T2);
+                let t4 = self.t4(key);
+                let n = kernels.len();
+                for (i, k) in kernels.into_iter().enumerate() {
+                    let t_k = self.registry.predict(&k);
+                    active += t_k;
+                    let gpu = streams.entry(node.stream).or_insert(0.0);
+                    let start = (*gpu + self.kernel_gap_us).max(cpu + self.launch_factor * t4).max(dep_ready);
+                    *gpu = start + t_k;
+                    last_end = Some(start + t_k);
+                    cpu += t4;
+                    if i + 1 < n {
+                        cpu += self.overhead(key, OverheadType::T5);
+                    }
+                }
+                cpu += self.overhead(key, OverheadType::T3);
+            }
+
+            let ready = last_end.unwrap_or(cpu);
+            for &out in &node.outputs {
+                tensor_ready.insert(out, ready);
+            }
+        }
+
+        let gpu = streams.values().fold(0.0f64, |a, &b| a.max(b));
+        Ok(Prediction { e2e_us: cpu.max(gpu), active_us: active, cpu_us: cpu, gpu_us: gpu })
+    }
+
+    /// Predicted GPU active time alone (the sum of kernel predictions) —
+    /// the paper's `kernel_only` baseline quantity.
+    ///
+    /// # Errors
+    /// Returns a [`LowerError`] on malformed graphs.
+    pub fn predict_active(&self, graph: &Graph) -> Result<f64, LowerError> {
+        let mut total = 0.0;
+        for node in graph.nodes() {
+            for k in lower::try_kernels(graph, node)? {
+                total += self.registry.predict(&k);
+            }
+        }
+        Ok(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlperf_gpusim::DeviceSpec;
+    use dlperf_kernels::CalibrationEffort;
+    use dlperf_models::DlrmConfig;
+    use dlperf_trace::engine::ExecutionEngine;
+    use dlperf_trace::Trace;
+
+    fn setup(batch: u64) -> (Graph, E2ePredictor, f64, f64) {
+        let g = DlrmConfig {
+            rows_per_table: vec![100_000; 4],
+            ..DlrmConfig::default_config(batch)
+        }
+        .build();
+        let dev = DeviceSpec::v100();
+        let mut engine = ExecutionEngine::new(dev.clone(), 51);
+        let runs = engine.run_iterations(&g, 30).unwrap();
+        let measured = runs.iter().map(|r| r.e2e_us).sum::<f64>() / runs.len() as f64;
+        let measured_active =
+            runs.iter().map(|r| r.active_us()).sum::<f64>() / runs.len() as f64;
+        let traces: Vec<Trace> = runs.into_iter().map(|r| r.trace).collect();
+        let overheads = OverheadStats::extract(&traces, true);
+        let registry = ModelRegistry::calibrate(&dev, CalibrationEffort::Quick, 9);
+        (g, E2ePredictor::new(registry, overheads), measured, measured_active)
+    }
+
+    #[test]
+    fn e2e_prediction_within_paper_band() {
+        let (g, pred, measured, _) = setup(512);
+        let p = pred.predict(&g).unwrap();
+        let err = ((p.e2e_us - measured) / measured).abs();
+        assert!(
+            err < 0.25,
+            "E2E error {:.1}% (pred {} vs measured {})",
+            err * 100.0,
+            p.e2e_us,
+            measured
+        );
+    }
+
+    #[test]
+    fn active_prediction_within_band() {
+        let (g, pred, _, measured_active) = setup(512);
+        let active = pred.predict_active(&g).unwrap();
+        let err = ((active - measured_active) / measured_active).abs();
+        assert!(
+            err < 0.25,
+            "active error {:.1}% (pred {active} vs measured {measured_active})",
+            err * 100.0
+        );
+    }
+
+    #[test]
+    fn kernel_only_underestimates_low_utilization_workloads() {
+        // The Fig. 9 message: at small batch (low utilization) kernel_only
+        // is far below the measured E2E time while the full model is close.
+        let (g, pred, measured, _) = setup(128);
+        let p = pred.predict(&g).unwrap();
+        let kernel_only = pred.predict_active(&g).unwrap();
+        let e2e_err = ((p.e2e_us - measured) / measured).abs();
+        let ko_err = ((kernel_only - measured) / measured).abs();
+        assert!(
+            ko_err > 2.0 * e2e_err,
+            "kernel_only err {:.1}% should far exceed E2E err {:.1}%",
+            ko_err * 100.0,
+            e2e_err * 100.0
+        );
+    }
+
+    #[test]
+    fn prediction_is_deterministic() {
+        let (g, pred, _, _) = setup(256);
+        assert_eq!(pred.predict(&g).unwrap(), pred.predict(&g).unwrap());
+    }
+
+    #[test]
+    fn e2e_never_below_components() {
+        let (g, pred, _, _) = setup(256);
+        let p = pred.predict(&g).unwrap();
+        assert!(p.e2e_us >= p.cpu_us.max(p.gpu_us) - 1e-9);
+        assert!(p.gpu_us >= p.active_us - 1e-6, "gpu clock includes idle");
+        assert!(p.utilization() > 0.0 && p.utilization() <= 1.0);
+    }
+
+    #[test]
+    fn type_only_granularity_changes_prediction() {
+        let (g, pred, _, _) = setup(256);
+        let per_op = pred.predict(&g).unwrap().e2e_us;
+        let coarse = pred
+            .clone()
+            .with_granularity(OverheadGranularity::TypeOnly)
+            .predict(&g)
+            .unwrap()
+            .e2e_us;
+        assert_ne!(per_op, coarse);
+        // Both should still be the same order of magnitude.
+        assert!((per_op / coarse - 1.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn measured_t4_policy_close_to_fixed() {
+        let (g, pred, _, _) = setup(256);
+        let fixed = pred.predict(&g).unwrap().e2e_us;
+        let measured = pred
+            .clone()
+            .with_t4_policy(T4Policy::Measured)
+            .predict(&g)
+            .unwrap()
+            .e2e_us;
+        assert!((fixed / measured - 1.0).abs() < 0.2);
+    }
+}

@@ -1,0 +1,172 @@
+//! Error bookkeeping: the per-configuration rows of Fig. 9 and the
+//! geomean/min/max aggregation of Table V.
+
+use dlperf_trace::stats::geomean;
+use serde::{Deserialize, Serialize};
+
+/// One evaluated configuration: a (workload, device, batch) cell of Fig. 9.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PredictionRow {
+    /// Workload name.
+    pub workload: String,
+    /// Device name.
+    pub device: String,
+    /// Batch size.
+    pub batch: u64,
+    /// Measured E2E per-batch time (µs).
+    pub measured_e2e_us: f64,
+    /// Measured GPU active time (µs).
+    pub measured_active_us: f64,
+    /// Predicted E2E with individual overheads (µs).
+    pub pred_e2e_us: f64,
+    /// Predicted E2E with shared overheads (µs).
+    pub pred_shared_e2e_us: f64,
+    /// Predicted GPU active time (µs).
+    pub pred_active_us: f64,
+    /// The `kernel_only` baseline (µs).
+    pub kernel_only_us: f64,
+}
+
+/// Relative error (signed), as a fraction.
+pub fn rel_error(pred: f64, actual: f64) -> f64 {
+    (pred - actual) / actual
+}
+
+impl PredictionRow {
+    /// |error| of the GPU active-time prediction.
+    pub fn active_error(&self) -> f64 {
+        rel_error(self.pred_active_us, self.measured_active_us).abs()
+    }
+
+    /// |error| of the E2E prediction (individual overheads).
+    pub fn e2e_error(&self) -> f64 {
+        rel_error(self.pred_e2e_us, self.measured_e2e_us).abs()
+    }
+
+    /// |error| of the E2E prediction (shared overheads).
+    pub fn shared_e2e_error(&self) -> f64 {
+        rel_error(self.pred_shared_e2e_us, self.measured_e2e_us).abs()
+    }
+
+    /// |error| of the `kernel_only` baseline against the E2E time.
+    pub fn kernel_only_error(&self) -> f64 {
+        rel_error(self.kernel_only_us, self.measured_e2e_us).abs()
+    }
+
+    /// Measured GPU utilization.
+    pub fn utilization(&self) -> f64 {
+        self.measured_active_us / self.measured_e2e_us
+    }
+}
+
+/// geomean/min/max of one error metric over a set of rows (one Table V
+/// cell-triple).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorSummary {
+    /// Geometric mean of the absolute errors.
+    pub geomean: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Row count.
+    pub count: usize,
+}
+
+impl ErrorSummary {
+    /// Aggregates a slice of absolute errors.
+    ///
+    /// # Panics
+    /// Panics if `errors` is empty.
+    pub fn from_errors(errors: &[f64]) -> Self {
+        assert!(!errors.is_empty(), "cannot summarize zero errors");
+        ErrorSummary {
+            geomean: geomean(errors),
+            min: errors.iter().copied().fold(f64::INFINITY, f64::min),
+            max: errors.iter().copied().fold(0.0, f64::max),
+            count: errors.len(),
+        }
+    }
+
+    /// Summarizes a metric over rows, optionally filtered to one device.
+    pub fn over<'r>(
+        rows: impl IntoIterator<Item = &'r PredictionRow>,
+        device: Option<&str>,
+        metric: impl Fn(&PredictionRow) -> f64,
+    ) -> Option<Self> {
+        let errs: Vec<f64> = rows
+            .into_iter()
+            .filter(|r| device.is_none_or(|d| r.device == d))
+            .map(metric)
+            .collect();
+        if errs.is_empty() {
+            None
+        } else {
+            Some(Self::from_errors(&errs))
+        }
+    }
+}
+
+impl std::fmt::Display for ErrorSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:6.2}% {:6.2}% {:6.2}%",
+            self.geomean * 100.0,
+            self.min * 100.0,
+            self.max * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(device: &str, pred: f64, measured: f64) -> PredictionRow {
+        PredictionRow {
+            workload: "w".into(),
+            device: device.into(),
+            batch: 256,
+            measured_e2e_us: measured,
+            measured_active_us: measured * 0.6,
+            pred_e2e_us: pred,
+            pred_shared_e2e_us: pred * 1.05,
+            pred_active_us: measured * 0.6 * 0.97,
+            kernel_only_us: measured * 0.6,
+        }
+    }
+
+    #[test]
+    fn errors_computed_against_right_denominators() {
+        let r = row("V100", 110.0, 100.0);
+        assert!((r.e2e_error() - 0.10).abs() < 1e-12);
+        assert!((r.kernel_only_error() - 0.40).abs() < 1e-12);
+        assert!((r.active_error() - 0.03).abs() < 1e-12);
+        assert!((r.utilization() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_filters_by_device() {
+        let rows = vec![row("V100", 110.0, 100.0), row("P100", 120.0, 100.0)];
+        let all = ErrorSummary::over(&rows, None, PredictionRow::e2e_error).unwrap();
+        assert_eq!(all.count, 2);
+        assert!((all.max - 0.2).abs() < 1e-12);
+        let v100 = ErrorSummary::over(&rows, Some("V100"), PredictionRow::e2e_error).unwrap();
+        assert_eq!(v100.count, 1);
+        assert!(ErrorSummary::over(&rows, Some("TITAN"), PredictionRow::e2e_error).is_none());
+    }
+
+    #[test]
+    fn geomean_between_min_and_max() {
+        let s = ErrorSummary::from_errors(&[0.01, 0.04, 0.16]);
+        assert!(s.min <= s.geomean && s.geomean <= s.max);
+        assert!((s.geomean - 0.04).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero errors")]
+    fn empty_summary_panics() {
+        ErrorSummary::from_errors(&[]);
+    }
+}

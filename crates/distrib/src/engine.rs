@@ -1,0 +1,176 @@
+//! The lockstep multi-GPU engine: simulated measurement of one
+//! hybrid-parallel training iteration.
+//!
+//! Each rank executes its compute segments on its own simulated GPU (with
+//! independent noise); every collective is a barrier — it starts when the
+//! slowest rank arrives and all ranks leave together, as NCCL-synchronized
+//! training behaves.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rand_distr::{Distribution, LogNormal};
+
+use dlperf_gpusim::{collective, DeviceSpec};
+use dlperf_graph::lower::LowerError;
+use dlperf_trace::engine::ExecutionEngine;
+
+use crate::builder::DistributedDlrm;
+
+/// Measured timeline of one distributed iteration.
+#[derive(Debug, Clone)]
+pub struct DistributedRunResult {
+    /// End-to-end iteration time (µs).
+    pub e2e_us: f64,
+    /// Per-segment compute time: `max` over ranks (µs), S1..S4.
+    pub segment_us: [f64; 4],
+    /// Per-collective time (µs), C1..C3.
+    pub comm_us: [f64; 3],
+    /// Per-rank per-segment compute times (`[rank][segment]`).
+    pub per_rank_us: Vec<[f64; 4]>,
+}
+
+impl DistributedRunResult {
+    /// Fraction of the iteration spent in collectives.
+    pub fn comm_share(&self) -> f64 {
+        self.comm_us.iter().sum::<f64>() / self.e2e_us
+    }
+
+    /// Compute imbalance of a segment: max / mean over ranks (1 = balanced).
+    pub fn segment_imbalance(&self, segment: usize) -> f64 {
+        let vals: Vec<f64> = self.per_rank_us.iter().map(|r| r[segment]).collect();
+        let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+        if mean == 0.0 {
+            1.0
+        } else {
+            vals.iter().copied().fold(0.0f64, f64::max) / mean
+        }
+    }
+}
+
+/// A homogeneous cluster of simulated GPUs.
+#[derive(Debug)]
+pub struct MultiGpuEngine {
+    device: DeviceSpec,
+    seed: u64,
+    rng: StdRng,
+    profiling: bool,
+}
+
+impl MultiGpuEngine {
+    /// Creates a cluster engine of identical `device`s.
+    pub fn new(device: DeviceSpec, seed: u64) -> Self {
+        MultiGpuEngine { device, seed, rng: StdRng::seed_from_u64(seed ^ 0xc0), profiling: false }
+    }
+
+    /// Enables profiler-overhead injection in per-rank runs.
+    pub fn set_profiling(&mut self, profiling: bool) {
+        self.profiling = profiling;
+    }
+
+    /// Measures one distributed iteration.
+    ///
+    /// # Errors
+    /// Propagates lowering errors from malformed segment graphs.
+    pub fn run(&mut self, job: &DistributedDlrm) -> Result<DistributedRunResult, LowerError> {
+        let world = job.world();
+        let mut per_rank_us = vec![[0.0f64; 4]; world];
+        for (rank, rank_us) in per_rank_us.iter_mut().enumerate() {
+            let mut engine =
+                ExecutionEngine::new(self.device.clone(), self.seed ^ (rank as u64) << 8);
+            engine.set_profiling(self.profiling);
+            for (i, seg) in job.segments(rank).iter().enumerate() {
+                rank_us[i] = engine.run(seg)?.e2e_us;
+            }
+        }
+        let mut segment_us = [0.0f64; 4];
+        for (i, seg) in segment_us.iter_mut().enumerate() {
+            *seg = per_rank_us.iter().map(|r| r[i]).fold(0.0, f64::max);
+        }
+
+        // Collectives with run-to-run jitter (NCCL timing variance).
+        let jitter = LogNormal::new(0.0, 0.04).expect("valid lognormal");
+        let specs = job.collectives();
+        let mut comm_us = [0.0f64; 3];
+        for (c, spec) in comm_us.iter_mut().zip(&specs) {
+            *c = collective::simulate(&self.device, spec) * jitter.sample(&mut self.rng);
+        }
+
+        Ok(DistributedRunResult {
+            e2e_us: segment_us.iter().sum::<f64>() + comm_us.iter().sum::<f64>(),
+            segment_us,
+            comm_us,
+            per_rank_us,
+        })
+    }
+
+    /// Mean E2E time over `iters` iterations.
+    ///
+    /// # Errors
+    /// Propagates lowering errors.
+    pub fn measure_e2e(&mut self, job: &DistributedDlrm, iters: usize) -> Result<f64, LowerError> {
+        assert!(iters > 0, "need at least one iteration");
+        let mut total = 0.0;
+        for _ in 0..iters {
+            total += self.run(job)?.e2e_us;
+        }
+        Ok(total / iters as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::ShardingPlan;
+    use dlperf_models::DlrmConfig;
+
+    fn job(world: usize, batch: u64) -> DistributedDlrm {
+        let cfg = DlrmConfig::default_config(batch);
+        let plan = ShardingPlan::round_robin(cfg.rows_per_table.len(), world);
+        DistributedDlrm::new(cfg, plan).unwrap()
+    }
+
+    #[test]
+    fn run_produces_consistent_timeline() {
+        let mut e = MultiGpuEngine::new(DeviceSpec::v100(), 1);
+        let r = e.run(&job(4, 2048)).unwrap();
+        assert!(r.e2e_us > 0.0);
+        let parts: f64 = r.segment_us.iter().sum::<f64>() + r.comm_us.iter().sum::<f64>();
+        assert!((r.e2e_us - parts).abs() < 1e-9);
+        assert!(r.comm_share() > 0.0 && r.comm_share() < 1.0);
+    }
+
+    #[test]
+    fn single_gpu_has_no_comm() {
+        let mut e = MultiGpuEngine::new(DeviceSpec::v100(), 2);
+        let r = e.run(&job(1, 2048)).unwrap();
+        assert_eq!(r.comm_us, [0.0; 3]);
+    }
+
+    #[test]
+    fn skewed_plan_creates_segment_imbalance() {
+        let cfg = DlrmConfig::default_config(1024);
+        let skewed = DistributedDlrm::new(
+            cfg.clone(),
+            ShardingPlan::new(vec![0, 0, 0, 0, 0, 0, 0, 1], 2).unwrap(),
+        )
+        .unwrap();
+        let balanced =
+            DistributedDlrm::new(cfg, ShardingPlan::round_robin(8, 2)).unwrap();
+        let mut e = MultiGpuEngine::new(DeviceSpec::v100(), 3);
+        let rs = e.run(&skewed).unwrap();
+        let rb = e.run(&balanced).unwrap();
+        // S1 contains the embedding forward: the skewed plan must be less
+        // balanced there.
+        assert!(rs.segment_imbalance(0) > rb.segment_imbalance(0));
+    }
+
+    #[test]
+    fn nvlink_cluster_beats_pcie_cluster_on_comm() {
+        let job = job(4, 2048);
+        let mut v = MultiGpuEngine::new(DeviceSpec::v100(), 4);
+        let mut xp = MultiGpuEngine::new(DeviceSpec::titan_xp(), 4);
+        let cv: f64 = v.run(&job).unwrap().comm_us.iter().sum();
+        let cxp: f64 = xp.run(&job).unwrap().comm_us.iter().sum();
+        assert!(cxp > 3.0 * cv, "PCIe comm {cxp} vs NVLink {cv}");
+    }
+}

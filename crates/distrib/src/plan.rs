@@ -1,0 +1,96 @@
+//! Embedding-table sharding plans.
+
+use serde::{Deserialize, Serialize};
+
+use crate::DistribError;
+
+/// An assignment of embedding tables to GPUs: `assignment[table] = rank`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardingPlan {
+    assignment: Vec<usize>,
+    world: usize,
+}
+
+impl ShardingPlan {
+    /// Creates a plan, validating that every rank index is in range.
+    ///
+    /// # Errors
+    /// Returns [`DistribError::PlanMismatch`] if a rank is out of range or
+    /// the plan is empty.
+    pub fn new(assignment: Vec<usize>, world: usize) -> Result<Self, DistribError> {
+        if world == 0 || assignment.is_empty() {
+            return Err(DistribError::PlanMismatch("empty plan or zero world".into()));
+        }
+        if let Some(&bad) = assignment.iter().find(|&&r| r >= world) {
+            return Err(DistribError::PlanMismatch(format!(
+                "rank {bad} out of range for world {world}"
+            )));
+        }
+        Ok(ShardingPlan { assignment, world })
+    }
+
+    /// Round-robin plan over `tables` tables.
+    pub fn round_robin(tables: usize, world: usize) -> Self {
+        ShardingPlan { assignment: (0..tables).map(|i| i % world).collect(), world }
+    }
+
+    /// Builds a plan from a `codesign`-style assignment vector.
+    ///
+    /// # Errors
+    /// Same as [`ShardingPlan::new`].
+    pub fn from_assignment(assignment: &[usize], world: usize) -> Result<Self, DistribError> {
+        Self::new(assignment.to_vec(), world)
+    }
+
+    /// Number of participating GPUs.
+    pub fn world(&self) -> usize {
+        self.world
+    }
+
+    /// Number of tables covered.
+    pub fn table_count(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// Indices of the tables owned by `rank`.
+    pub fn tables_of(&self, rank: usize) -> Vec<usize> {
+        self.assignment
+            .iter()
+            .enumerate()
+            .filter(|(_, &r)| r == rank)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// The raw assignment.
+    pub fn assignment(&self) -> &[usize] {
+        &self.assignment
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_partitions() {
+        let p = ShardingPlan::round_robin(26, 4);
+        let total: usize = (0..4).map(|r| p.tables_of(r).len()).sum();
+        assert_eq!(total, 26);
+        assert_eq!(p.tables_of(0), vec![0, 4, 8, 12, 16, 20, 24]);
+    }
+
+    #[test]
+    fn out_of_range_rank_rejected() {
+        assert!(matches!(
+            ShardingPlan::new(vec![0, 5], 4),
+            Err(DistribError::PlanMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn empty_plan_rejected() {
+        assert!(ShardingPlan::new(vec![], 4).is_err());
+        assert!(ShardingPlan::new(vec![0], 0).is_err());
+    }
+}

@@ -1,0 +1,141 @@
+//! The distributed E2E predictor: Algorithm 1 per compute segment, the
+//! analytic collective model per communication phase, barriers in between.
+//!
+//! Like the single-GPU predictor it never executes anything — sharding
+//! plans, world sizes, and interconnects can be compared from graphs alone.
+
+use dlperf_core::predictor::E2ePredictor;
+use dlperf_gpusim::{collective, DeviceSpec};
+use dlperf_graph::lower::LowerError;
+
+use crate::builder::DistributedDlrm;
+
+/// Predicted timeline of one distributed iteration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DistributedPrediction {
+    /// Predicted E2E iteration time (µs).
+    pub e2e_us: f64,
+    /// Predicted per-segment compute time (max over ranks, µs).
+    pub segment_us: [f64; 4],
+    /// Predicted per-collective time (µs).
+    pub comm_us: [f64; 3],
+}
+
+impl DistributedPrediction {
+    /// Predicted fraction of the iteration spent communicating.
+    pub fn comm_share(&self) -> f64 {
+        self.comm_us.iter().sum::<f64>() / self.e2e_us
+    }
+}
+
+/// Distributed predictor: a single-GPU predictor plus the device's
+/// interconnect parameters.
+#[derive(Debug, Clone)]
+pub struct DistributedPredictor {
+    predictor: E2ePredictor,
+    device: DeviceSpec,
+}
+
+impl DistributedPredictor {
+    /// Wraps a calibrated single-GPU predictor for `device`.
+    pub fn new(predictor: E2ePredictor, device: DeviceSpec) -> Self {
+        DistributedPredictor { predictor, device }
+    }
+
+    /// The underlying single-GPU predictor.
+    pub fn single_gpu(&self) -> &E2ePredictor {
+        &self.predictor
+    }
+
+    /// Predicts one distributed iteration of `job`.
+    ///
+    /// # Errors
+    /// Propagates lowering errors from malformed segment graphs.
+    pub fn predict(&self, job: &DistributedDlrm) -> Result<DistributedPrediction, LowerError> {
+        let mut segment_us = [0.0f64; 4];
+        for rank in 0..job.world() {
+            for (i, seg) in job.segments(rank).iter().enumerate() {
+                let p = self.predictor.predict(seg)?;
+                segment_us[i] = segment_us[i].max(p.e2e_us);
+            }
+        }
+        let mut comm_us = [0.0f64; 3];
+        for (c, spec) in comm_us.iter_mut().zip(&job.collectives()) {
+            *c = collective::simulate(&self.device, spec);
+        }
+        Ok(DistributedPrediction {
+            e2e_us: segment_us.iter().sum::<f64>() + comm_us.iter().sum::<f64>(),
+            segment_us,
+            comm_us,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::MultiGpuEngine;
+    use crate::plan::ShardingPlan;
+    use dlperf_core::pipeline::Pipeline;
+    use dlperf_kernels::CalibrationEffort;
+    use dlperf_models::DlrmConfig;
+
+    fn setup(world: usize, batch: u64) -> (DistributedDlrm, DistributedPredictor) {
+        let cfg = DlrmConfig::default_config(batch);
+        let plan = ShardingPlan::round_robin(cfg.rows_per_table.len(), world);
+        let job = DistributedDlrm::new(cfg, plan).unwrap();
+        // Calibrate on the rank-0 segments so the overhead DB covers the ops.
+        let segs = job.segments(0).to_vec();
+        let device = DeviceSpec::v100();
+        let pipe = Pipeline::analyze(&device, &segs, CalibrationEffort::Quick, 12, 5);
+        (job, DistributedPredictor::new(pipe.predictor().clone(), device))
+    }
+
+    #[test]
+    fn prediction_tracks_simulated_cluster() {
+        let (job, pred) = setup(4, 2048);
+        let p = pred.predict(&job).unwrap();
+        let mut engine = MultiGpuEngine::new(DeviceSpec::v100(), 9);
+        let measured = engine.measure_e2e(&job, 8).unwrap();
+        let err = ((p.e2e_us - measured) / measured).abs();
+        assert!(
+            err < 0.25,
+            "distributed error {:.1}% (pred {} vs measured {measured})",
+            err * 100.0,
+            p.e2e_us
+        );
+    }
+
+    #[test]
+    fn scaling_helps_compute_but_adds_comm() {
+        let (job1, pred) = setup(1, 2048);
+        let (job4, _) = setup(4, 2048);
+        let p1 = pred.predict(&job1).unwrap();
+        let p4 = pred.predict(&job4).unwrap();
+        assert_eq!(p1.comm_us, [0.0; 3]);
+        assert!(p4.comm_us.iter().sum::<f64>() > 0.0);
+        // Per-rank compute shrinks with world size.
+        assert!(p4.segment_us[1] < p1.segment_us[1], "S2 should shrink with DP");
+    }
+
+    #[test]
+    fn predictor_ranks_sharding_plans_like_the_engine() {
+        let cfg = DlrmConfig::default_config(1024);
+        let balanced =
+            DistributedDlrm::new(cfg.clone(), ShardingPlan::round_robin(8, 4)).unwrap();
+        let skewed = DistributedDlrm::new(
+            cfg,
+            ShardingPlan::new(vec![0, 0, 0, 0, 0, 1, 2, 3], 4).unwrap(),
+        )
+        .unwrap();
+        let (_, pred) = setup(4, 1024);
+        let pb = pred.predict(&balanced).unwrap().e2e_us;
+        let ps = pred.predict(&skewed).unwrap().e2e_us;
+        assert!(ps > pb, "skewed plan predicted faster ({ps}) than balanced ({pb})");
+
+        let mut engine = MultiGpuEngine::new(DeviceSpec::v100(), 13);
+        let mb = engine.measure_e2e(&balanced, 5).unwrap();
+        let ms = engine.measure_e2e(&skewed, 5).unwrap();
+        assert!(ms > mb, "engine disagrees: skewed {ms} vs balanced {mb}");
+    }
+}

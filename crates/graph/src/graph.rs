@@ -1,0 +1,348 @@
+//! The execution graph: operators connected through tensors.
+//!
+//! Nodes are stored in *execution order* — the order the framework's
+//! dispatcher ran them, which is what the observer captures. Validation
+//! checks that this order is consistent with the data dependencies (every
+//! input is either a graph input or produced by an earlier node) and that
+//! each tensor has at most one producer.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+use crate::op::OpKind;
+use crate::tensor::{TensorId, TensorMeta};
+
+/// Opaque handle to a node inside a [`Graph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub usize);
+
+/// One executed operator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Node {
+    /// Handle of this node in its graph.
+    pub id: NodeId,
+    /// Human-readable name (defaults to the op's overhead key).
+    pub name: String,
+    /// Operator kind.
+    pub op: OpKind,
+    /// Input tensors, in positional order.
+    pub inputs: Vec<TensorId>,
+    /// Output tensors.
+    pub outputs: Vec<TensorId>,
+    /// CUDA stream this op's kernels are enqueued on (0 = default stream).
+    /// Set by the *parallelize* transformation.
+    pub stream: usize,
+}
+
+/// Errors raised by graph construction and validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// A node references a tensor id that does not exist.
+    TensorOutOfRange { node: usize, tensor: usize },
+    /// Two nodes both claim to produce the same tensor.
+    MultipleProducers { tensor: usize, first: usize, second: usize },
+    /// A node consumes a tensor produced by a *later* node.
+    UseBeforeDef { node: usize, tensor: usize, producer: usize },
+    /// A node lists the same tensor as both input and output.
+    InPlaceAlias { node: usize, tensor: usize },
+    /// The requested node does not exist.
+    NoSuchNode { node: usize },
+}
+
+impl std::fmt::Display for GraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphError::TensorOutOfRange { node, tensor } => {
+                write!(f, "node {node} references unknown tensor {tensor}")
+            }
+            GraphError::MultipleProducers { tensor, first, second } => {
+                write!(f, "tensor {tensor} produced by both node {first} and node {second}")
+            }
+            GraphError::UseBeforeDef { node, tensor, producer } => {
+                write!(f, "node {node} uses tensor {tensor} before its producer {producer} runs")
+            }
+            GraphError::InPlaceAlias { node, tensor } => {
+                write!(f, "node {node} aliases tensor {tensor} as both input and output")
+            }
+            GraphError::NoSuchNode { node } => write!(f, "no such node {node}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// An execution graph: tensors plus operators in execution order.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Graph {
+    /// Workload name (e.g. `"DLRM_default"`).
+    pub name: String,
+    tensors: Vec<TensorMeta>,
+    nodes: Vec<Node>,
+}
+
+impl Graph {
+    /// Creates an empty graph.
+    pub fn new(name: impl Into<String>) -> Self {
+        Graph { name: name.into(), tensors: Vec::new(), nodes: Vec::new() }
+    }
+
+    /// Adds a tensor and returns its handle.
+    pub fn add_tensor(&mut self, meta: TensorMeta) -> TensorId {
+        self.tensors.push(meta);
+        TensorId(self.tensors.len() - 1)
+    }
+
+    /// Appends a node at the end of the execution order.
+    ///
+    /// # Panics
+    /// Panics if any referenced tensor id is out of range; structural
+    /// problems beyond that are reported by [`Graph::validate`].
+    pub fn add_node(
+        &mut self,
+        name: impl Into<String>,
+        op: OpKind,
+        inputs: Vec<TensorId>,
+        outputs: Vec<TensorId>,
+    ) -> NodeId {
+        for t in inputs.iter().chain(outputs.iter()) {
+            assert!(t.0 < self.tensors.len(), "tensor id {} out of range", t.0);
+        }
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(Node { id, name: name.into(), op, inputs, outputs, stream: 0 });
+        id
+    }
+
+    /// Appends a node named after its op kind.
+    pub fn add_op(&mut self, op: OpKind, inputs: Vec<TensorId>, outputs: Vec<TensorId>) -> NodeId {
+        self.add_node(op.overhead_key().to_string(), op, inputs, outputs)
+    }
+
+    /// Tensor metadata by handle.
+    ///
+    /// # Panics
+    /// Panics if the handle came from a different graph and is out of range.
+    pub fn tensor(&self, id: TensorId) -> &TensorMeta {
+        &self.tensors[id.0]
+    }
+
+    /// Mutable tensor metadata by handle.
+    pub fn tensor_mut(&mut self, id: TensorId) -> &mut TensorMeta {
+        &mut self.tensors[id.0]
+    }
+
+    /// All tensors with their handles.
+    pub fn tensors(&self) -> impl Iterator<Item = (TensorId, &TensorMeta)> {
+        self.tensors.iter().enumerate().map(|(i, t)| (TensorId(i), t))
+    }
+
+    /// Number of tensors.
+    pub fn tensor_count(&self) -> usize {
+        self.tensors.len()
+    }
+
+    /// Nodes in execution order.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Node by handle.
+    pub fn node(&self, id: NodeId) -> Result<&Node, GraphError> {
+        self.nodes.get(id.0).ok_or(GraphError::NoSuchNode { node: id.0 })
+    }
+
+    /// Mutable node by handle.
+    pub fn node_mut(&mut self, id: NodeId) -> Result<&mut Node, GraphError> {
+        self.nodes.get_mut(id.0).ok_or(GraphError::NoSuchNode { node: id.0 })
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The node that produces `tensor`, if any (graph inputs have none).
+    pub fn producer(&self, tensor: TensorId) -> Option<NodeId> {
+        self.nodes.iter().find(|n| n.outputs.contains(&tensor)).map(|n| n.id)
+    }
+
+    /// All nodes that consume `tensor`.
+    pub fn consumers(&self, tensor: TensorId) -> Vec<NodeId> {
+        self.nodes.iter().filter(|n| n.inputs.contains(&tensor)).map(|n| n.id).collect()
+    }
+
+    /// Tensors not produced by any node (the graph's external inputs:
+    /// training data, weights).
+    pub fn external_inputs(&self) -> Vec<TensorId> {
+        let mut produced = vec![false; self.tensors.len()];
+        for n in &self.nodes {
+            for t in &n.outputs {
+                produced[t.0] = true;
+            }
+        }
+        (0..self.tensors.len()).filter(|&i| !produced[i]).map(TensorId).collect()
+    }
+
+    /// Replaces the node list (used by transformations that rebuild
+    /// execution order). Re-indexes node ids to match positions.
+    pub fn set_nodes(&mut self, mut nodes: Vec<Node>) {
+        for (i, n) in nodes.iter_mut().enumerate() {
+            n.id = NodeId(i);
+        }
+        self.nodes = nodes;
+    }
+
+    /// Direct data-dependency predecessors of `node` (producers of its
+    /// inputs), deduplicated.
+    pub fn predecessors(&self, node: NodeId) -> Vec<NodeId> {
+        let mut preds: Vec<NodeId> = self.nodes[node.0]
+            .inputs
+            .iter()
+            .filter_map(|&t| self.producer(t))
+            .collect();
+        preds.sort();
+        preds.dedup();
+        preds
+    }
+
+    /// Checks structural invariants; see [`GraphError`] for the cases.
+    pub fn validate(&self) -> Result<(), GraphError> {
+        let mut producer: HashMap<usize, usize> = HashMap::new();
+        for (pos, n) in self.nodes.iter().enumerate() {
+            for t in n.inputs.iter().chain(n.outputs.iter()) {
+                if t.0 >= self.tensors.len() {
+                    return Err(GraphError::TensorOutOfRange { node: pos, tensor: t.0 });
+                }
+            }
+            for t in &n.inputs {
+                if n.outputs.contains(t) {
+                    return Err(GraphError::InPlaceAlias { node: pos, tensor: t.0 });
+                }
+                if let Some(&p) = producer.get(&t.0) {
+                    if p >= pos {
+                        return Err(GraphError::UseBeforeDef { node: pos, tensor: t.0, producer: p });
+                    }
+                }
+            }
+            for t in &n.outputs {
+                if let Some(&first) = producer.get(&t.0) {
+                    return Err(GraphError::MultipleProducers { tensor: t.0, first, second: pos });
+                }
+                producer.insert(t.0, pos);
+            }
+        }
+        // Check use-before-def also for tensors whose producer appears later.
+        for (pos, n) in self.nodes.iter().enumerate() {
+            for t in &n.inputs {
+                if let Some(&p) = producer.get(&t.0) {
+                    if p >= pos {
+                        return Err(GraphError::UseBeforeDef { node: pos, tensor: t.0, producer: p });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Serializes the graph to pretty JSON (the paper exports captured
+    /// execution graphs as JSON files).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("graph serialization cannot fail")
+    }
+
+    /// Deserializes a graph from JSON and validates it.
+    pub fn from_json(s: &str) -> Result<Self, Box<dyn std::error::Error>> {
+        let g: Graph = serde_json::from_str(s)?;
+        g.validate()?;
+        Ok(g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::TensorMeta;
+
+    fn linear_graph() -> Graph {
+        let mut g = Graph::new("test");
+        let x = g.add_tensor(TensorMeta::activation(&[8, 4]).with_batch_dim(0));
+        let w = g.add_tensor(TensorMeta::weight(&[16, 4]));
+        let b = g.add_tensor(TensorMeta::weight(&[16]));
+        let y = g.add_tensor(TensorMeta::activation(&[8, 16]).with_batch_dim(0));
+        let z = g.add_tensor(TensorMeta::activation(&[8, 16]).with_batch_dim(0));
+        g.add_op(OpKind::AddMm, vec![x, w, b], vec![y]);
+        g.add_op(OpKind::Relu, vec![y], vec![z]);
+        g
+    }
+
+    #[test]
+    fn valid_graph_passes() {
+        assert_eq!(linear_graph().validate(), Ok(()));
+    }
+
+    #[test]
+    fn producers_and_consumers() {
+        let g = linear_graph();
+        assert_eq!(g.producer(TensorId(3)), Some(NodeId(0)));
+        assert_eq!(g.producer(TensorId(0)), None);
+        assert_eq!(g.consumers(TensorId(3)), vec![NodeId(1)]);
+        assert_eq!(g.external_inputs(), vec![TensorId(0), TensorId(1), TensorId(2)]);
+    }
+
+    #[test]
+    fn use_before_def_detected() {
+        let mut g = Graph::new("bad");
+        let a = g.add_tensor(TensorMeta::activation(&[4]));
+        let b = g.add_tensor(TensorMeta::activation(&[4]));
+        // Node 0 consumes b, which node 1 produces.
+        g.add_op(OpKind::Relu, vec![b], vec![a]);
+        let c = g.add_tensor(TensorMeta::activation(&[4]));
+        g.add_op(OpKind::Relu, vec![c], vec![b]);
+        assert!(matches!(g.validate(), Err(GraphError::UseBeforeDef { .. })));
+    }
+
+    #[test]
+    fn multiple_producers_detected() {
+        let mut g = Graph::new("bad");
+        let a = g.add_tensor(TensorMeta::activation(&[4]));
+        let b = g.add_tensor(TensorMeta::activation(&[4]));
+        g.add_op(OpKind::Relu, vec![a], vec![b]);
+        g.add_op(OpKind::Sigmoid, vec![a], vec![b]);
+        assert!(matches!(g.validate(), Err(GraphError::MultipleProducers { .. })));
+    }
+
+    #[test]
+    fn inplace_alias_detected() {
+        let mut g = Graph::new("bad");
+        let a = g.add_tensor(TensorMeta::activation(&[4]));
+        g.add_op(OpKind::Relu, vec![a], vec![a]);
+        assert!(matches!(g.validate(), Err(GraphError::InPlaceAlias { .. })));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn dangling_tensor_panics_at_add() {
+        let mut g = Graph::new("bad");
+        g.add_op(OpKind::Relu, vec![TensorId(0)], vec![]);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let g = linear_graph();
+        let s = g.to_json();
+        let back = Graph::from_json(&s).unwrap();
+        assert_eq!(back.node_count(), g.node_count());
+        assert_eq!(back.tensor_count(), g.tensor_count());
+        assert_eq!(back.nodes()[0].op, OpKind::AddMm);
+    }
+
+    #[test]
+    fn predecessors_deduplicated() {
+        let mut g = Graph::new("dup");
+        let a = g.add_tensor(TensorMeta::activation(&[4, 4]));
+        let b = g.add_tensor(TensorMeta::activation(&[4, 4]));
+        let c = g.add_tensor(TensorMeta::activation(&[4, 8]));
+        g.add_op(OpKind::Relu, vec![a], vec![b]);
+        let n = g.add_op(OpKind::Cat { dim: 1 }, vec![b, b], vec![c]);
+        assert_eq!(g.predecessors(n), vec![NodeId(0)]);
+    }
+}

@@ -1,0 +1,230 @@
+//! Operator kinds.
+//!
+//! Each variant corresponds to a (family of) PyTorch operator(s) appearing
+//! in DLRM or CV/NLP training iterations. Shape information lives on the
+//! tensors, not here, so graph transformations that rewrite tensor metadata
+//! (e.g. *resize*) automatically change every op's lowered kernels.
+
+use dlperf_gpusim::MemcpyKind;
+use serde::{Deserialize, Serialize};
+
+/// The kind of operator a [`crate::Node`] executes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum OpKind {
+    /// `aten::addmm` — fully connected forward (bias + x·Wᵀ).
+    AddMm,
+    /// `AddmmBackward` — dominated by two GEMM kernels (dgrad + wgrad).
+    AddMmBackward,
+    /// `aten::bmm` — batched matrix multiply (feature interaction).
+    Bmm,
+    /// `BmmBackward0` — two batched GEMM kernels.
+    BmmBackward,
+    /// `aten::embedding_bag` — one table lookup.
+    EmbeddingBag,
+    /// `EmbeddingBagBackward` — one table lookup backward + SGD.
+    EmbeddingBagBackward,
+    /// Tulloch-style batched embedding lookup over all tables in one kernel.
+    BatchedEmbedding,
+    /// Batched embedding lookup backward with fused SGD.
+    BatchedEmbeddingBackward,
+    /// `aten::cat` along dimension `dim`.
+    Cat { dim: usize },
+    /// Backward of `cat` (materializes the per-input gradient slices).
+    CatBackward { dim: usize },
+    /// `aten::relu`.
+    Relu,
+    /// `ReluBackward0`.
+    ReluBackward,
+    /// `aten::sigmoid` (final CTR prediction).
+    Sigmoid,
+    /// `SigmoidBackward0`.
+    SigmoidBackward,
+    /// `aten::mse_loss`.
+    MseLoss,
+    /// `MseLossBackward0`.
+    MseLossBackward,
+    /// Batched matrix transpose (permutation of the last two axes — the only
+    /// permutation that occurs in DLRM).
+    Transpose,
+    /// Lower-triangular extraction + flatten (feature interaction gather).
+    Tril,
+    /// `IndexBackward` — scatter of the interaction gradient.
+    TrilBackward,
+    /// `aten::to` / `aten::copy_` — a memory copy of the given kind.
+    To { kind: MemcpyKind },
+    /// `aten::conv2d` with square-symmetric stride/padding.
+    Conv2d { stride: u64, pad: u64 },
+    /// `CudnnConvolutionBackward` — dgrad + wgrad kernels.
+    Conv2dBackward { stride: u64, pad: u64 },
+    /// `aten::batch_norm`.
+    BatchNorm,
+    /// `CudnnBatchNormBackward`.
+    BatchNormBackward,
+    /// `aten::max_pool2d` with a `k × k` window.
+    MaxPool { k: u64, stride: u64 },
+    /// `MaxPool2DWithIndicesBackward0`.
+    MaxPoolBackward,
+    /// `aten::adaptive_avg_pool2d` (global average pooling).
+    AvgPool,
+    /// `aten::add` (residual connections).
+    Add,
+    /// `AddBackward0` — gradient pass-through, no device kernels.
+    AddBackward,
+    /// `aten::softmax` (attention).
+    Softmax,
+    /// `SoftmaxBackward0`.
+    SoftmaxBackward,
+    /// `aten::layer_norm`.
+    LayerNorm,
+    /// `LayerNormBackward0`.
+    LayerNormBackward,
+    /// `aten::gelu`.
+    Gelu,
+    /// `GeluBackward0`.
+    GeluBackward,
+    /// `aten::dropout`.
+    Dropout,
+    /// `DropoutBackward0`.
+    DropoutBackward,
+    /// `aten::sum` — reduction (bias-gradient accumulation in backward).
+    Sum,
+    /// Fused optimizer step over all parameter inputs (`Optimizer.step()`,
+    /// lowered to a series of element-wise kernels as the paper observes).
+    OptimizerStep,
+    /// `aten::reshape` / `aten::view` / `aten::flatten` — host-only
+    /// bookkeeping with no device kernels (contributes overheads only).
+    Reshape,
+}
+
+impl OpKind {
+    /// Canonical operator-type key used for overhead statistics.
+    ///
+    /// The paper's overhead model assumes "same types of overheads of the
+    /// same op have the same stats on the same machine"; this key defines
+    /// what "same op" means.
+    pub fn overhead_key(&self) -> &'static str {
+        match self {
+            OpKind::AddMm => "aten::addmm",
+            OpKind::AddMmBackward => "AddmmBackward",
+            OpKind::Bmm => "aten::bmm",
+            OpKind::BmmBackward => "BmmBackward0",
+            OpKind::EmbeddingBag => "aten::embedding_bag",
+            OpKind::EmbeddingBagBackward => "EmbeddingBagBackward",
+            OpKind::BatchedEmbedding => "batched_embedding",
+            OpKind::BatchedEmbeddingBackward => "batched_embedding_backward",
+            OpKind::Cat { .. } => "aten::cat",
+            OpKind::CatBackward { .. } => "CatBackward",
+            OpKind::Relu => "aten::relu",
+            OpKind::ReluBackward => "ReluBackward0",
+            OpKind::Sigmoid => "aten::sigmoid",
+            OpKind::SigmoidBackward => "SigmoidBackward0",
+            OpKind::MseLoss => "aten::mse_loss",
+            OpKind::MseLossBackward => "MseLossBackward0",
+            OpKind::Transpose => "aten::transpose",
+            OpKind::Tril => "aten::index",
+            OpKind::TrilBackward => "IndexBackward",
+            OpKind::To { .. } => "aten::to",
+            OpKind::Conv2d { .. } => "aten::conv2d",
+            OpKind::Conv2dBackward { .. } => "CudnnConvolutionBackward",
+            OpKind::BatchNorm => "aten::batch_norm",
+            OpKind::BatchNormBackward => "CudnnBatchNormBackward",
+            OpKind::MaxPool { .. } => "aten::max_pool2d",
+            OpKind::MaxPoolBackward => "MaxPool2DWithIndicesBackward0",
+            OpKind::AvgPool => "aten::adaptive_avg_pool2d",
+            OpKind::Add => "aten::add",
+            OpKind::AddBackward => "AddBackward0",
+            OpKind::Softmax => "aten::softmax",
+            OpKind::SoftmaxBackward => "SoftmaxBackward0",
+            OpKind::LayerNorm => "aten::layer_norm",
+            OpKind::LayerNormBackward => "LayerNormBackward0",
+            OpKind::Gelu => "aten::gelu",
+            OpKind::GeluBackward => "GeluBackward0",
+            OpKind::Dropout => "aten::dropout",
+            OpKind::DropoutBackward => "DropoutBackward0",
+            OpKind::Sum => "aten::sum",
+            OpKind::OptimizerStep => "Optimizer.step",
+            OpKind::Reshape => "aten::reshape",
+        }
+    }
+
+    /// Whether this op belongs to the backward pass.
+    pub fn is_backward(&self) -> bool {
+        matches!(
+            self,
+            OpKind::AddMmBackward
+                | OpKind::BmmBackward
+                | OpKind::EmbeddingBagBackward
+                | OpKind::BatchedEmbeddingBackward
+                | OpKind::CatBackward { .. }
+                | OpKind::ReluBackward
+                | OpKind::SigmoidBackward
+                | OpKind::MseLossBackward
+                | OpKind::TrilBackward
+                | OpKind::Conv2dBackward { .. }
+                | OpKind::BatchNormBackward
+                | OpKind::MaxPoolBackward
+                | OpKind::AddBackward
+                | OpKind::SoftmaxBackward
+                | OpKind::LayerNormBackward
+                | OpKind::GeluBackward
+                | OpKind::DropoutBackward
+        )
+    }
+
+    /// Whether this op launches any device kernels at all. Ops that do not
+    /// (views, `AddBackward0`) still contribute host overheads.
+    pub fn has_device_work(&self) -> bool {
+        !matches!(self, OpKind::Reshape | OpKind::AddBackward)
+    }
+}
+
+impl std::fmt::Display for OpKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.overhead_key())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backward_classification() {
+        assert!(!OpKind::AddMm.is_backward());
+        assert!(OpKind::AddMmBackward.is_backward());
+        assert!(OpKind::TrilBackward.is_backward());
+        assert!(!OpKind::OptimizerStep.is_backward());
+    }
+
+    #[test]
+    fn host_only_ops() {
+        assert!(!OpKind::Reshape.has_device_work());
+        assert!(!OpKind::AddBackward.has_device_work());
+        assert!(OpKind::Relu.has_device_work());
+    }
+
+    #[test]
+    fn overhead_keys_unique_for_distinct_kinds() {
+        let kinds = [
+            OpKind::AddMm,
+            OpKind::AddMmBackward,
+            OpKind::Bmm,
+            OpKind::EmbeddingBag,
+            OpKind::BatchedEmbedding,
+            OpKind::Cat { dim: 1 },
+            OpKind::Relu,
+            OpKind::Tril,
+            OpKind::TrilBackward,
+            OpKind::OptimizerStep,
+        ];
+        let mut keys: Vec<_> = kinds.iter().map(|k| k.overhead_key()).collect();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), kinds.len());
+    }
+
+    #[test]
+    fn display_matches_key() {
+        assert_eq!(OpKind::AddMm.to_string(), "aten::addmm");
+    }
+}

@@ -1,0 +1,98 @@
+//! Prediction-error statistics: the GMAE / mean / std columns of Table IV.
+
+/// Error statistics over a set of (prediction, actual) pairs, as absolute
+/// relative errors.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorStats {
+    /// Geometric mean of the absolute relative errors (the paper's GMAE).
+    pub gmae: f64,
+    /// Arithmetic mean of the absolute relative errors.
+    pub mean: f64,
+    /// Standard deviation of the absolute relative errors.
+    pub std: f64,
+    /// Number of pairs.
+    pub count: usize,
+}
+
+impl ErrorStats {
+    /// Computes error statistics from paired predictions and ground truth.
+    ///
+    /// # Panics
+    /// Panics if the slices differ in length, are empty, or an actual value
+    /// is not positive.
+    pub fn from_pairs(pred: &[f64], actual: &[f64]) -> Self {
+        assert_eq!(pred.len(), actual.len(), "paired slices must match");
+        assert!(!pred.is_empty(), "need at least one pair");
+        let errs: Vec<f64> = pred
+            .iter()
+            .zip(actual)
+            .map(|(p, a)| {
+                assert!(*a > 0.0, "actual values must be positive");
+                ((p - a) / a).abs().max(1e-9)
+            })
+            .collect();
+        let n = errs.len() as f64;
+        let mean = errs.iter().sum::<f64>() / n;
+        let std = (errs.iter().map(|e| (e - mean).powi(2)).sum::<f64>() / n).sqrt();
+        let gmae = (errs.iter().map(|e| e.ln()).sum::<f64>() / n).exp();
+        ErrorStats { gmae, mean, std, count: errs.len() }
+    }
+
+    /// Formats as the paper's percentage triple, e.g. `"5.80% 10.00% 10.33%"`.
+    pub fn as_percent_row(&self) -> String {
+        format!("{:6.2}% {:7.2}% {:7.2}%", self.gmae * 100.0, self.mean * 100.0, self.std * 100.0)
+    }
+}
+
+impl std::fmt::Display for ErrorStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "GMAE {:.2}% mean {:.2}% std {:.2}% (n={})",
+            self.gmae * 100.0,
+            self.mean * 100.0,
+            self.std * 100.0,
+            self.count
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction_is_zero_error() {
+        let s = ErrorStats::from_pairs(&[1.0, 2.0, 3.0], &[1.0, 2.0, 3.0]);
+        assert!(s.gmae < 1e-8);
+        assert!(s.mean < 1e-8);
+    }
+
+    #[test]
+    fn known_errors() {
+        // +10% and -10% errors: GMAE = mean = 10%.
+        let s = ErrorStats::from_pairs(&[1.1, 0.9], &[1.0, 1.0]);
+        assert!((s.gmae - 0.1).abs() < 1e-9);
+        assert!((s.mean - 0.1).abs() < 1e-9);
+        assert!(s.std < 1e-9);
+    }
+
+    #[test]
+    fn gmae_below_mean_for_skewed_errors() {
+        // One large outlier: the geometric mean is robust, the mean is not.
+        let s = ErrorStats::from_pairs(&[1.01, 1.01, 1.01, 3.0], &[1.0; 4]);
+        assert!(s.gmae < s.mean);
+    }
+
+    #[test]
+    #[should_panic(expected = "must match")]
+    fn mismatched_lengths_panic() {
+        ErrorStats::from_pairs(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_actual_panics() {
+        ErrorStats::from_pairs(&[1.0], &[0.0]);
+    }
+}

@@ -1,0 +1,9 @@
+//! Heuristic (analytic) kernel performance models.
+
+pub mod embedding;
+pub mod gemm_naive;
+pub mod roofline;
+
+pub use embedding::{EmbeddingModel, EmbeddingModelKind};
+pub use gemm_naive::NaiveGemmModel;
+pub use roofline::RooflineModel;

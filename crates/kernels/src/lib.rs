@@ -1,0 +1,41 @@
+//! # dlperf-kernels
+//!
+//! Kernel performance models for the dominating kernels of DLRM training,
+//! following the paper's two-pronged approach (§III-B):
+//!
+//! * **Heuristic models** for kernels whose implementation is accessible or
+//!   trivial: the batched embedding-lookup forward/backward models (plain
+//!   DRAM-traffic and L2-hit-rate-enhanced variants) and roofline models for
+//!   element-wise / concat / memcpy kernels, with the "corrected peak
+//!   bandwidth" calibrated from microbenchmark data.
+//! * **ML-based models** for opaque kernels (cuBLAS GEMM, JIT-generated
+//!   transpose, tril forward/backward, cuDNN conv): MLP regressors trained
+//!   on microbenchmark sweeps with log-preprocessed features.
+//!
+//! [`microbench`] generates the sweeps against the simulated GPU;
+//! [`registry::ModelRegistry`] assembles one model per kernel family —
+//! shared across all ops that call that family, which is the paper's
+//! microbenchmark-cost-saving insight — and [`error`] computes the GMAE /
+//! mean / std statistics of Table IV.
+//!
+//! ## Example
+//!
+//! ```
+//! use dlperf_gpusim::{DeviceSpec, KernelSpec};
+//! use dlperf_kernels::registry::{CalibrationEffort, ModelRegistry};
+//!
+//! let registry = ModelRegistry::calibrate(&DeviceSpec::v100(), CalibrationEffort::Quick, 7);
+//! let t = registry.predict(&KernelSpec::gemm(1024, 1024, 1024));
+//! assert!(t > 0.0);
+//! ```
+
+pub mod error;
+pub mod heuristic;
+pub mod microbench;
+pub mod mlbased;
+pub mod persist;
+pub mod registry;
+
+pub use error::ErrorStats;
+pub use persist::RegistryBundle;
+pub use registry::{CalibrationEffort, KernelPerfModel, ModelRegistry};

@@ -1,0 +1,127 @@
+//! Persistence of calibrated kernel-model assets.
+//!
+//! Calibration (microbenchmarks + training) is the expensive half of the
+//! pipeline; the paper's workflow stores its assets — kernel models and
+//! overhead databases — so that "subsequent DLRM models simply go through
+//! the Prediction Track". [`RegistryBundle`] is the serializable form of a
+//! calibrated [`ModelRegistry`]: save it once per device, reload in
+//! milliseconds.
+
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use dlperf_gpusim::{DeviceSpec, KernelFamily};
+
+use crate::heuristic::embedding::EmbeddingModel;
+use crate::heuristic::roofline::RooflineModel;
+use crate::mlbased::MlKernelModel;
+use crate::registry::ModelRegistry;
+
+/// A serializable snapshot of every model a calibrated registry holds.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RegistryBundle {
+    /// The device the bundle was calibrated for.
+    pub device: DeviceSpec,
+    /// Roofline for memcpy / concat / element-wise.
+    pub roofline: RooflineModel,
+    /// Embedding-lookup forward model.
+    pub embedding_forward: EmbeddingModel,
+    /// Embedding-lookup backward model.
+    pub embedding_backward: EmbeddingModel,
+    /// ML models for the opaque kernels.
+    pub gemm: MlKernelModel,
+    /// Batched transpose.
+    pub transpose: MlKernelModel,
+    /// `tril` forward.
+    pub tril_forward: MlKernelModel,
+    /// `tril` backward.
+    pub tril_backward: MlKernelModel,
+    /// Convolution (for the CV-model experiments).
+    pub conv: MlKernelModel,
+}
+
+impl RegistryBundle {
+    /// Assembles a working [`ModelRegistry`] from the bundle.
+    pub fn into_registry(self) -> ModelRegistry {
+        let mut reg = ModelRegistry::empty(self.device);
+        let roofline = Arc::new(self.roofline);
+        reg.insert(KernelFamily::Memcpy, roofline.clone());
+        reg.insert(KernelFamily::Concat, roofline.clone());
+        reg.insert(KernelFamily::Elementwise, roofline);
+        reg.insert(KernelFamily::EmbeddingForward, Arc::new(self.embedding_forward));
+        reg.insert(KernelFamily::EmbeddingBackward, Arc::new(self.embedding_backward));
+        reg.insert(KernelFamily::Gemm, Arc::new(self.gemm));
+        reg.insert(KernelFamily::Transpose, Arc::new(self.transpose));
+        reg.insert(KernelFamily::TrilForward, Arc::new(self.tril_forward));
+        reg.insert(KernelFamily::TrilBackward, Arc::new(self.tril_backward));
+        reg.insert(KernelFamily::Conv2d, Arc::new(self.conv));
+        reg
+    }
+
+    /// Serializes the bundle to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("bundle serialization cannot fail")
+    }
+
+    /// Deserializes a bundle from JSON.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+
+    /// Saves the bundle to a file.
+    ///
+    /// # Errors
+    /// Propagates I/O errors.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Loads a bundle from a file.
+    ///
+    /// # Errors
+    /// Propagates I/O and parse errors.
+    pub fn load(path: impl AsRef<std::path::Path>) -> Result<Self, Box<dyn std::error::Error>> {
+        Ok(Self::from_json(&std::fs::read_to_string(path)?)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::CalibrationEffort;
+    use dlperf_gpusim::KernelSpec;
+
+    #[test]
+    fn bundle_round_trips_and_predicts_identically() {
+        let dev = DeviceSpec::v100();
+        let bundle = ModelRegistry::calibrate_bundle(&dev, CalibrationEffort::Quick, 5);
+        let json = bundle.to_json();
+        let reloaded = RegistryBundle::from_json(&json).unwrap();
+
+        let a = bundle.into_registry();
+        let b = reloaded.into_registry();
+        for k in [
+            KernelSpec::gemm(1024, 512, 256),
+            KernelSpec::embedding_forward(512, 100_000, 8, 10, 64),
+            KernelSpec::memcpy_d2d(4 << 20),
+            KernelSpec::Transpose { batch: 512, rows: 9, cols: 64 },
+            KernelSpec::TrilForward { batch: 512, n: 9 },
+        ] {
+            assert_eq!(a.predict(&k), b.predict(&k), "mismatch on {k:?}");
+        }
+    }
+
+    #[test]
+    fn bundle_saves_and_loads_from_disk() {
+        let dev = DeviceSpec::p100();
+        let bundle = ModelRegistry::calibrate_bundle(&dev, CalibrationEffort::Quick, 6);
+        let dir = std::env::temp_dir().join("dlperf-bundle-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("p100.json");
+        bundle.save(&path).unwrap();
+        let loaded = RegistryBundle::load(&path).unwrap();
+        assert_eq!(loaded.device.name, "Tesla P100");
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,268 @@
+//! The kernel-model registry: one performance model per kernel family.
+//!
+//! This is the asset store of the paper's prediction pipeline (the blue
+//! cylinders of Fig. 3): calibrating it once per device runs the
+//! microbenchmarks, fits the ML models, and instantiates the heuristic
+//! models; afterwards any op that lowers to a known family can be predicted
+//! without touching the (simulated) hardware again. Ops sharing kernel
+//! types — `addmm`, `bmm`, `linear` and all their backwards — automatically
+//! share the single GEMM model, the paper's cost-saving observation.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use dlperf_gpusim::{DeviceSpec, KernelFamily, KernelSpec};
+use dlperf_nn::train::TrainConfig;
+
+use crate::heuristic::embedding::{EmbeddingModel, EmbeddingModelKind};
+use crate::heuristic::roofline::RooflineModel;
+use crate::microbench::{self, Microbenchmark};
+use crate::mlbased::MlKernelModel;
+
+/// A kernel performance model: predicts the execution time of one family.
+pub trait KernelPerfModel: Send + Sync {
+    /// Predicted time in microseconds.
+    fn predict(&self, kernel: &KernelSpec) -> f64;
+    /// Short model name for reports, e.g. `"ML(GEMM)"`.
+    fn name(&self) -> String;
+}
+
+impl KernelPerfModel for EmbeddingModel {
+    fn predict(&self, kernel: &KernelSpec) -> f64 {
+        EmbeddingModel::predict(self, kernel)
+    }
+    fn name(&self) -> String {
+        match self.kind() {
+            EmbeddingModelKind::Plain => "heuristic(EL, plain)".into(),
+            EmbeddingModelKind::Enhanced => "heuristic(EL, hit-rate)".into(),
+        }
+    }
+}
+
+impl KernelPerfModel for RooflineModel {
+    fn predict(&self, kernel: &KernelSpec) -> f64 {
+        RooflineModel::predict(self, kernel)
+    }
+    fn name(&self) -> String {
+        "roofline".into()
+    }
+}
+
+impl KernelPerfModel for MlKernelModel {
+    fn predict(&self, kernel: &KernelSpec) -> f64 {
+        MlKernelModel::predict(self, kernel)
+    }
+    fn name(&self) -> String {
+        format!("ML({})", self.family())
+    }
+}
+
+/// How much microbenchmarking/training work calibration performs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CalibrationEffort {
+    /// Small sweeps and short training: seconds, for tests and examples.
+    Quick,
+    /// Paper-scale sweeps and training: for the benchmark harness.
+    Full,
+}
+
+impl CalibrationEffort {
+    fn samples(self, quick: usize, full: usize) -> usize {
+        match self {
+            CalibrationEffort::Quick => quick,
+            CalibrationEffort::Full => full,
+        }
+    }
+
+    fn train_config(self) -> TrainConfig {
+        match self {
+            CalibrationEffort::Quick => {
+                TrainConfig { epochs: 120, width: 48, hidden_layers: 3, ..Default::default() }
+            }
+            CalibrationEffort::Full => {
+                TrainConfig { epochs: 240, width: 96, hidden_layers: 3, patience: 30, batch_size: 128, ..Default::default() }
+            }
+        }
+    }
+}
+
+/// One performance model per kernel family.
+#[derive(Clone)]
+pub struct ModelRegistry {
+    models: HashMap<KernelFamily, Arc<dyn KernelPerfModel>>,
+    device: DeviceSpec,
+}
+
+impl std::fmt::Debug for ModelRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut names: Vec<String> =
+            self.models.iter().map(|(fam, m)| format!("{fam}: {}", m.name())).collect();
+        names.sort();
+        f.debug_struct("ModelRegistry")
+            .field("device", &self.device.name)
+            .field("models", &names)
+            .finish()
+    }
+}
+
+impl ModelRegistry {
+    /// An empty registry for manual assembly.
+    pub fn empty(device: DeviceSpec) -> Self {
+        ModelRegistry { models: HashMap::new(), device }
+    }
+
+    /// The device this registry was calibrated for.
+    pub fn device(&self) -> &DeviceSpec {
+        &self.device
+    }
+
+    /// Installs (or replaces) the model for a family.
+    pub fn insert(&mut self, family: KernelFamily, model: Arc<dyn KernelPerfModel>) {
+        self.models.insert(family, model);
+    }
+
+    /// The model registered for a family.
+    pub fn get(&self, family: KernelFamily) -> Option<&Arc<dyn KernelPerfModel>> {
+        self.models.get(&family)
+    }
+
+    /// Predicted execution time of `kernel` in microseconds.
+    ///
+    /// # Panics
+    /// Panics if no model is registered for the kernel's family.
+    pub fn predict(&self, kernel: &KernelSpec) -> f64 {
+        self.models
+            .get(&kernel.family())
+            .unwrap_or_else(|| panic!("no model registered for family {}", kernel.family()))
+            .predict(kernel)
+    }
+
+    /// Runs the full analysis track against a device: microbenchmark sweeps,
+    /// roofline calibration, heuristic instantiation, and ML training.
+    ///
+    /// `Quick` effort calibrates in seconds for tests; `Full` matches the
+    /// paper's sweep scale (minutes).
+    pub fn calibrate(device: &DeviceSpec, effort: CalibrationEffort, seed: u64) -> Self {
+        Self::calibrate_bundle(device, effort, seed).into_registry()
+    }
+
+    /// Like [`ModelRegistry::calibrate`], but returns the serializable
+    /// [`crate::persist::RegistryBundle`] so the expensive calibration can
+    /// be stored and reloaded.
+    pub fn calibrate_bundle(
+        device: &DeviceSpec,
+        effort: CalibrationEffort,
+        seed: u64,
+    ) -> crate::persist::RegistryBundle {
+        let mut mb = Microbenchmark::new(device, seed, 15);
+        let cfg = effort.train_config();
+
+        // Memory families: roofline with corrected peak bandwidth + latency.
+        let mem = mb.measure(&microbench::memory_specs(effort.samples(48, 240), seed ^ 1));
+        let mem_pairs: Vec<(KernelSpec, f64)> =
+            mem.iter().map(|s| (s.kernel.clone(), s.time_us)).collect();
+        let roofline = RooflineModel::calibrate(device, &mem_pairs);
+
+        // GEMM gets extra capacity: its wave-quantized surface on small-SM
+        // devices needs a deeper net to avoid regional bias.
+        let gemm_cfg = match effort {
+            CalibrationEffort::Quick => cfg.clone(),
+            CalibrationEffort::Full => TrainConfig {
+                epochs: 400,
+                width: 160,
+                hidden_layers: 4,
+                patience: 50,
+                batch_size: 128,
+                ..Default::default()
+            },
+        };
+
+        // Opaque kernels: ML models trained on sweeps.
+        let mut train_ml = |specs: Vec<KernelSpec>, train_cfg: &TrainConfig, seed: u64| {
+            let samples = mb.measure(&specs);
+            MlKernelModel::train(&samples, train_cfg, seed)
+        };
+        let gemm =
+            train_ml(microbench::gemm_specs(effort.samples(260, 1600), seed ^ 2), &gemm_cfg, seed ^ 2);
+        let transpose =
+            train_ml(microbench::transpose_specs(effort.samples(200, 700), seed ^ 3), &cfg, seed ^ 3);
+        let tril_forward =
+            train_ml(microbench::tril_specs(effort.samples(160, 500), false, seed ^ 4), &cfg, seed ^ 4);
+        let tril_backward =
+            train_ml(microbench::tril_specs(effort.samples(160, 500), true, seed ^ 5), &cfg, seed ^ 5);
+        let conv = train_ml(microbench::conv_specs(effort.samples(220, 800), seed ^ 6), &cfg, seed ^ 6);
+
+        crate::persist::RegistryBundle {
+            device: device.clone(),
+            roofline,
+            // The enhanced heuristic model, adopted for E2E prediction after
+            // the Table IV comparison.
+            embedding_forward: EmbeddingModel::new(device, EmbeddingModelKind::Enhanced),
+            embedding_backward: EmbeddingModel::new(device, EmbeddingModelKind::Enhanced),
+            gemm,
+            transpose,
+            tril_forward,
+            tril_backward,
+            conv,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::ErrorStats;
+    use dlperf_gpusim::Gpu;
+
+    #[test]
+    fn calibrated_registry_covers_every_dlrm_family() {
+        let reg = ModelRegistry::calibrate(&DeviceSpec::v100(), CalibrationEffort::Quick, 7);
+        for fam in [
+            KernelFamily::Gemm,
+            KernelFamily::EmbeddingForward,
+            KernelFamily::EmbeddingBackward,
+            KernelFamily::Concat,
+            KernelFamily::Memcpy,
+            KernelFamily::Transpose,
+            KernelFamily::TrilForward,
+            KernelFamily::TrilBackward,
+            KernelFamily::Elementwise,
+            KernelFamily::Conv2d,
+        ] {
+            assert!(reg.get(fam).is_some(), "missing model for {fam}");
+        }
+    }
+
+    #[test]
+    fn quick_registry_predicts_within_band() {
+        let dev = DeviceSpec::v100();
+        let reg = ModelRegistry::calibrate(&dev, CalibrationEffort::Quick, 11);
+        let gpu = Gpu::noiseless(dev);
+        let eval = [
+            KernelSpec::gemm(2048, 1024, 512),
+            KernelSpec::Transpose { batch: 2048, rows: 9, cols: 64 },
+            KernelSpec::TrilForward { batch: 2048, n: 27 },
+            KernelSpec::memcpy_d2d(4 << 20),
+            KernelSpec::embedding_forward(2048, 1_000_000, 8, 10, 64),
+        ];
+        let preds: Vec<f64> = eval.iter().map(|k| reg.predict(k)).collect();
+        let actual: Vec<f64> = eval.iter().map(|k| gpu.kernel_time_noiseless(k)).collect();
+        let stats = ErrorStats::from_pairs(&preds, &actual);
+        assert!(stats.mean < 0.5, "quick calibration too far off: {stats}");
+    }
+
+    #[test]
+    #[should_panic(expected = "no model registered")]
+    fn missing_family_panics() {
+        let reg = ModelRegistry::empty(DeviceSpec::v100());
+        reg.predict(&KernelSpec::gemm(8, 8, 8));
+    }
+
+    #[test]
+    fn debug_lists_models() {
+        let reg = ModelRegistry::calibrate(&DeviceSpec::p100(), CalibrationEffort::Quick, 3);
+        let dbg = format!("{reg:?}");
+        assert!(dbg.contains("GEMM"));
+        assert!(dbg.contains("roofline"));
+    }
+}

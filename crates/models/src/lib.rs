@@ -1,0 +1,35 @@
+//! # dlperf-models
+//!
+//! Execution-graph builders for the workloads the paper evaluates:
+//!
+//! * [`dlrm`] — the DLRM training iteration (forward, backward, optimizer)
+//!   with the three open-source configurations of Table III
+//!   (*DLRM_default*, *DLRM_MLPerf*, *DLRM_DDP*);
+//! * [`cv`] — ResNet-50 and Inception-V3 training iterations (Fig. 10);
+//! * [`transformer`] — a Transformer encoder training iteration (Fig. 1);
+//! * [`criteo`] — a synthetic Criteo-like categorical index generator
+//!   standing in for the Kaggle Criteo dataset.
+//!
+//! Every builder returns a validated [`dlperf_graph::Graph`] whose
+//! activation tensors are batch-annotated, so the *resize* transformation
+//! can retarget any captured graph to a new batch size.
+//!
+//! ## Example
+//!
+//! ```
+//! use dlperf_models::dlrm::DlrmConfig;
+//!
+//! let graph = DlrmConfig::default_config(2048).build();
+//! assert!(graph.validate().is_ok());
+//! assert!(graph.node_count() > 30);
+//! ```
+
+pub mod autodiff;
+pub mod common;
+pub mod criteo;
+pub mod cv;
+pub mod dlrm;
+pub mod rm_zoo;
+pub mod transformer;
+
+pub use dlrm::DlrmConfig;

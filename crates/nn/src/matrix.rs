@@ -1,0 +1,228 @@
+//! Dense row-major `f64` matrices with exactly the operations MLP training
+//! needs. No BLAS, no unsafe — clarity over peak speed; the datasets here
+//! are thousands of rows, not millions.
+
+use serde::{Deserialize, Serialize};
+
+/// A dense row-major matrix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// An all-zeros matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Builds a matrix from a generator called as `f(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Builds a matrix from rows of equal length.
+    ///
+    /// Returns `None` if rows are ragged or empty.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Option<Self> {
+        let cols = rows.first()?.len();
+        if cols == 0 || rows.iter().any(|r| r.len() != cols) {
+            return None;
+        }
+        Some(Matrix {
+            rows: rows.len(),
+            cols,
+            data: rows.iter().flatten().copied().collect(),
+        })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Immutable element access.
+    ///
+    /// # Panics
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn at(&self, r: usize, c: usize) -> f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Mutable element access.
+    #[inline]
+    pub fn at_mut(&mut self, r: usize, c: usize) -> &mut f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &mut self.data[r * self.cols + c]
+    }
+
+    /// A view of row `r` as a slice.
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// The underlying data, row-major.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable underlying data, row-major.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Matrix product `self × rhs`.
+    ///
+    /// # Panics
+    /// Panics if inner dimensions disagree.
+    pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.rows, "matmul dims: {}x{} × {}x{}", self.rows, self.cols, rhs.rows, rhs.cols);
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.data[i * self.cols + k];
+                if a == 0.0 {
+                    continue;
+                }
+                let rrow = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
+                let orow = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+                for (o, &b) in orow.iter_mut().zip(rrow) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Matrix {
+        Matrix::from_fn(self.cols, self.rows, |r, c| self.at(c, r))
+    }
+
+    /// Adds a row vector to every row (bias broadcast).
+    ///
+    /// # Panics
+    /// Panics if `bias.len() != cols`.
+    pub fn add_row(&mut self, bias: &[f64]) {
+        assert_eq!(bias.len(), self.cols, "bias length mismatch");
+        for row in self.data.chunks_mut(self.cols) {
+            for (v, b) in row.iter_mut().zip(bias) {
+                *v += b;
+            }
+        }
+    }
+
+    /// Element-wise map, in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f64) -> f64) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Element-wise product (Hadamard), in place.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn hadamard_inplace(&mut self, rhs: &Matrix) {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "hadamard shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&rhs.data) {
+            *a *= b;
+        }
+    }
+
+    /// Column sums (gradient of a broadcast bias).
+    pub fn col_sums(&self) -> Vec<f64> {
+        let mut out = vec![0.0; self.cols];
+        for row in self.data.chunks(self.cols) {
+            for (o, v) in out.iter_mut().zip(row) {
+                *o += v;
+            }
+        }
+        out
+    }
+
+    /// `self += alpha * rhs`.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn axpy(&mut self, alpha: f64, rhs: &Matrix) {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "axpy shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&rhs.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Copy of selected rows, in the given order.
+    pub fn select_rows(&self, idx: &[usize]) -> Matrix {
+        Matrix::from_fn(idx.len(), self.cols, |r, c| self.at(idx[r], c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_identity() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let i = Matrix::from_fn(2, 2, |r, c| if r == c { 1.0 } else { 0.0 });
+        assert_eq!(a.matmul(&i), a);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0, 3.0]]).unwrap();
+        let b = Matrix::from_rows(&[vec![4.0], vec![5.0], vec![6.0]]).unwrap();
+        let c = a.matmul(&b);
+        assert_eq!(c.at(0, 0), 32.0);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = Matrix::from_fn(3, 5, |r, c| (r * 10 + c) as f64);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn bias_broadcast_and_col_sums() {
+        let mut a = Matrix::zeros(3, 2);
+        a.add_row(&[1.0, -2.0]);
+        assert_eq!(a.col_sums(), vec![3.0, -6.0]);
+    }
+
+    #[test]
+    fn ragged_rows_rejected() {
+        assert!(Matrix::from_rows(&[vec![1.0], vec![1.0, 2.0]]).is_none());
+        assert!(Matrix::from_rows(&[]).is_none());
+    }
+
+    #[test]
+    fn select_rows_orders() {
+        let a = Matrix::from_fn(4, 1, |r, _| r as f64);
+        let s = a.select_rows(&[3, 1]);
+        assert_eq!(s.as_slice(), &[3.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul dims")]
+    fn matmul_shape_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+}

@@ -1,0 +1,234 @@
+//! The MLP: a stack of fully connected layers with ReLU activations and a
+//! linear output, trained by explicit backpropagation.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::matrix::Matrix;
+
+/// One fully connected layer with its parameter gradients.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Linear {
+    /// Weights, `in × out`.
+    pub w: Matrix,
+    /// Bias, length `out`.
+    pub b: Vec<f64>,
+    /// Gradient of `w` from the last backward pass.
+    pub grad_w: Matrix,
+    /// Gradient of `b` from the last backward pass.
+    pub grad_b: Vec<f64>,
+    input_cache: Option<Matrix>,
+}
+
+impl Linear {
+    /// Xavier-uniform initialized layer.
+    pub fn new(inputs: usize, outputs: usize, rng: &mut StdRng) -> Self {
+        let limit = (6.0 / (inputs + outputs) as f64).sqrt();
+        Linear {
+            w: Matrix::from_fn(inputs, outputs, |_, _| rng.gen_range(-limit..limit)),
+            b: vec![0.0; outputs],
+            grad_w: Matrix::zeros(inputs, outputs),
+            grad_b: vec![0.0; outputs],
+            input_cache: None,
+        }
+    }
+
+    fn forward(&mut self, x: &Matrix, train: bool) -> Matrix {
+        if train {
+            self.input_cache = Some(x.clone());
+        }
+        let mut y = x.matmul(&self.w);
+        y.add_row(&self.b);
+        y
+    }
+
+    /// Backward pass: accumulates parameter gradients and returns the
+    /// gradient w.r.t. the layer input.
+    fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        let x = self
+            .input_cache
+            .take()
+            .expect("backward called without a preceding training forward");
+        self.grad_w = x.transpose().matmul(grad_out);
+        self.grad_b = grad_out.col_sums();
+        grad_out.matmul(&self.w.transpose())
+    }
+}
+
+/// A multilayer perceptron regressor: `num_layers` hidden ReLU layers of
+/// uniform width plus a scalar linear output.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Mlp {
+    layers: Vec<Linear>,
+    /// ReLU masks cached during training forward passes.
+    #[serde(skip)]
+    relu_masks: Vec<Matrix>,
+}
+
+impl Mlp {
+    /// Creates an MLP with `hidden_layers` hidden layers of width `width`,
+    /// `inputs` input features, and a single output.
+    ///
+    /// # Panics
+    /// Panics if any dimension is zero.
+    pub fn new(inputs: usize, hidden_layers: usize, width: usize, seed: u64) -> Self {
+        assert!(inputs > 0 && hidden_layers > 0 && width > 0, "MLP dims must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut layers = Vec::with_capacity(hidden_layers + 1);
+        let mut prev = inputs;
+        for _ in 0..hidden_layers {
+            layers.push(Linear::new(prev, width, &mut rng));
+            prev = width;
+        }
+        layers.push(Linear::new(prev, 1, &mut rng));
+        Mlp { layers, relu_masks: Vec::new() }
+    }
+
+    /// Number of input features.
+    pub fn inputs(&self) -> usize {
+        self.layers[0].w.rows()
+    }
+
+    /// The layers (for optimizers).
+    pub fn layers_mut(&mut self) -> &mut [Linear] {
+        &mut self.layers
+    }
+
+    /// Forward pass. With `train = true`, caches activations for
+    /// [`Mlp::backward`].
+    pub fn forward(&mut self, x: &Matrix, train: bool) -> Matrix {
+        assert_eq!(x.cols(), self.inputs(), "feature count mismatch");
+        if train {
+            self.relu_masks.clear();
+        }
+        let mut h = x.clone();
+        let n = self.layers.len();
+        for (i, layer) in self.layers.iter_mut().enumerate() {
+            h = layer.forward(&h, train);
+            if i + 1 < n {
+                // ReLU on hidden layers only.
+                let mut mask = h.clone();
+                mask.map_inplace(|v| if v > 0.0 { 1.0 } else { 0.0 });
+                h.map_inplace(|v| v.max(0.0));
+                if train {
+                    self.relu_masks.push(mask);
+                }
+            }
+        }
+        h
+    }
+
+    /// Backpropagates `grad_out` (dL/d prediction) through the network,
+    /// filling each layer's parameter gradients.
+    ///
+    /// # Panics
+    /// Panics if no training forward pass preceded this call.
+    pub fn backward(&mut self, grad_out: &Matrix) {
+        let mut grad = grad_out.clone();
+        let n = self.layers.len();
+        for (rev, layer) in self.layers.iter_mut().rev().enumerate() {
+            let i = n - 1 - rev;
+            grad = layer.backward(&grad);
+            if i > 0 {
+                let mask = &self.relu_masks[i - 1];
+                grad.hadamard_inplace(mask);
+            }
+        }
+    }
+
+    /// Inference forward pass: no caching, immutable receiver.
+    pub fn infer(&self, x: &Matrix) -> Matrix {
+        assert_eq!(x.cols(), self.inputs(), "feature count mismatch");
+        let mut h = x.clone();
+        let n = self.layers.len();
+        for (i, layer) in self.layers.iter().enumerate() {
+            let mut y = h.matmul(&layer.w);
+            y.add_row(&layer.b);
+            if i + 1 < n {
+                y.map_inplace(|v| v.max(0.0));
+            }
+            h = y;
+        }
+        h
+    }
+
+    /// Predicts one sample.
+    pub fn predict_one(&self, features: &[f64]) -> f64 {
+        let x = Matrix::from_rows(&[features.to_vec()]).expect("non-empty feature row");
+        self.infer(&x).at(0, 0)
+    }
+
+    /// Predicts a batch, returning one value per row of `x`.
+    pub fn predict(&self, x: &Matrix) -> Vec<f64> {
+        let y = self.infer(x);
+        (0..y.rows()).map(|r| y.at(r, 0)).collect()
+    }
+
+    /// Total parameter count.
+    pub fn param_count(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|l| l.w.rows() * l.w.cols() + l.b.len())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_flow_through() {
+        let mut mlp = Mlp::new(4, 3, 16, 1);
+        let x = Matrix::zeros(10, 4);
+        let y = mlp.forward(&x, false);
+        assert_eq!((y.rows(), y.cols()), (10, 1));
+    }
+
+    #[test]
+    fn param_count_formula() {
+        let mlp = Mlp::new(4, 2, 8, 1);
+        // 4*8+8 + 8*8+8 + 8*1+1 = 40 + 72 + 9 = 121.
+        assert_eq!(mlp.param_count(), 121);
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let mut mlp = Mlp::new(2, 2, 5, 7);
+        let x = Matrix::from_rows(&[vec![0.3, -0.7], vec![1.1, 0.4]]).unwrap();
+        // Loss = sum of outputs; dL/dy = 1.
+        let y = mlp.forward(&x, true);
+        let grad = Matrix::from_fn(y.rows(), 1, |_, _| 1.0);
+        mlp.backward(&grad);
+        let analytic = mlp.layers[0].grad_w.at(0, 0);
+
+        let eps = 1e-6;
+        let mut plus = mlp.clone();
+        *plus.layers_mut()[0].w.at_mut(0, 0) += eps;
+        let mut minus = mlp.clone();
+        *minus.layers_mut()[0].w.at_mut(0, 0) -= eps;
+        let f = |m: &mut Mlp| m.forward(&x, false).as_slice().iter().sum::<f64>();
+        let numeric = (f(&mut plus) - f(&mut minus)) / (2.0 * eps);
+        assert!(
+            (analytic - numeric).abs() < 1e-5,
+            "analytic {analytic} vs numeric {numeric}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "feature count mismatch")]
+    fn wrong_feature_count_panics() {
+        let mut mlp = Mlp::new(3, 1, 4, 0);
+        let x = Matrix::zeros(1, 2);
+        mlp.forward(&x, false);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = Mlp::new(3, 2, 8, 99);
+        let mut b = Mlp::new(3, 2, 8, 99);
+        let x = Matrix::from_rows(&[vec![0.1, 0.2, 0.3]]).unwrap();
+        assert_eq!(a.forward(&x, false), b.forward(&x, false));
+    }
+}

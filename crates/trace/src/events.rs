@@ -1,0 +1,173 @@
+//! Kineto-like trace containers: flattened events with timestamps.
+
+use serde::{Deserialize, Serialize};
+
+/// Category of a trace event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EventCat {
+    /// A host-side operator call (`cpu_op` in Kineto traces).
+    Op,
+    /// A CUDA runtime call, e.g. `cudaLaunchKernel` (`cuda_runtime`).
+    Runtime,
+    /// A device kernel execution (`kernel`).
+    Kernel,
+}
+
+/// One flattened trace event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Event name (op name, runtime function, or kernel name).
+    pub name: String,
+    /// Category.
+    pub cat: EventCat,
+    /// Start timestamp in microseconds from iteration start.
+    pub ts_us: f64,
+    /// Duration in microseconds.
+    pub dur_us: f64,
+    /// Stream the event ran on (kernels) or was issued from (0 for host).
+    pub stream: usize,
+    /// Index of the graph node this event belongs to.
+    pub op_index: usize,
+    /// Correlates a `Runtime` launch with the `Kernel` it launched.
+    pub correlation: u64,
+    /// Op-type key used for overhead bookkeeping (empty for kernels).
+    pub op_key: String,
+}
+
+impl TraceEvent {
+    /// End timestamp.
+    pub fn end_us(&self) -> f64 {
+        self.ts_us + self.dur_us
+    }
+}
+
+/// A trace of one training iteration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Trace {
+    /// Workload name.
+    pub workload: String,
+    /// Device name.
+    pub device: String,
+    /// Flattened events.
+    pub events: Vec<TraceEvent>,
+    /// Iteration wall-clock span in microseconds.
+    pub span_us: f64,
+}
+
+impl Trace {
+    /// Events of one category, in timestamp order.
+    pub fn of_cat(&self, cat: EventCat) -> Vec<&TraceEvent> {
+        let mut evs: Vec<&TraceEvent> = self.events.iter().filter(|e| e.cat == cat).collect();
+        evs.sort_by(|a, b| a.ts_us.total_cmp(&b.ts_us));
+        evs
+    }
+
+    /// Serializes to JSON (the trace-file format of the analysis track).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("trace serialization cannot fail")
+    }
+
+    /// Deserializes from JSON.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+
+    /// Exports the trace in the Chrome trace-event format, loadable in
+    /// `chrome://tracing` or Perfetto — host ops and runtime calls on a
+    /// "CPU" track, kernels on one track per stream, launches connected to
+    /// their kernels via flow ids.
+    pub fn to_chrome_json(&self) -> String {
+        use serde_json::json;
+        let mut events = Vec::with_capacity(self.events.len() + 2);
+        events.push(json!({
+            "name": "process_name", "ph": "M", "pid": 0,
+            "args": {"name": format!("{} on {}", self.workload, self.device)}
+        }));
+        for ev in &self.events {
+            let (tid, cat) = match ev.cat {
+                EventCat::Op => (0, "cpu_op"),
+                EventCat::Runtime => (0, "cuda_runtime"),
+                EventCat::Kernel => (100 + ev.stream as i64, "kernel"),
+            };
+            let mut obj = json!({
+                "name": ev.name, "cat": cat, "ph": "X",
+                "ts": ev.ts_us, "dur": ev.dur_us,
+                "pid": 0, "tid": tid,
+                "args": {"op_index": ev.op_index, "correlation": ev.correlation},
+            });
+            if ev.cat == EventCat::Kernel && ev.correlation != 0 {
+                obj["args"]["flow"] = json!(ev.correlation);
+            }
+            events.push(obj);
+        }
+        serde_json::to_string(&json!({"traceEvents": events, "displayTimeUnit": "ms"}))
+            .expect("chrome trace serialization cannot fail")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(name: &str, cat: EventCat, ts: f64, dur: f64) -> TraceEvent {
+        TraceEvent {
+            name: name.into(),
+            cat,
+            ts_us: ts,
+            dur_us: dur,
+            stream: 0,
+            op_index: 0,
+            correlation: 0,
+            op_key: String::new(),
+        }
+    }
+
+    #[test]
+    fn cat_filter_sorts_by_time() {
+        let t = Trace {
+            workload: "w".into(),
+            device: "d".into(),
+            events: vec![
+                ev("b", EventCat::Kernel, 5.0, 1.0),
+                ev("a", EventCat::Kernel, 1.0, 1.0),
+                ev("op", EventCat::Op, 0.0, 10.0),
+            ],
+            span_us: 10.0,
+        };
+        let ks = t.of_cat(EventCat::Kernel);
+        assert_eq!(ks.len(), 2);
+        assert_eq!(ks[0].name, "a");
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let t = Trace {
+            workload: "w".into(),
+            device: "d".into(),
+            events: vec![ev("x", EventCat::Runtime, 0.0, 9.5)],
+            span_us: 9.5,
+        };
+        let back = Trace::from_json(&t.to_json()).unwrap();
+        assert_eq!(back.events.len(), 1);
+        assert_eq!(back.events[0].end_us(), 9.5);
+    }
+
+    #[test]
+    fn chrome_export_is_valid_json_with_all_events() {
+        let t = Trace {
+            workload: "w".into(),
+            device: "V100".into(),
+            events: vec![
+                ev("aten::relu", EventCat::Op, 0.0, 10.0),
+                ev("cudaLaunchKernel", EventCat::Runtime, 2.0, 9.0),
+                ev("elementwise_kernel", EventCat::Kernel, 8.0, 3.0),
+            ],
+            span_us: 12.0,
+        };
+        let chrome: serde_json::Value = serde_json::from_str(&t.to_chrome_json()).unwrap();
+        let events = chrome["traceEvents"].as_array().unwrap();
+        // 3 trace events + 1 process-name metadata record.
+        assert_eq!(events.len(), 4);
+        assert!(events.iter().any(|e| e["cat"] == "kernel" && e["tid"] == 100));
+    }
+}

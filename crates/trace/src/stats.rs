@@ -1,0 +1,106 @@
+//! Small statistics helpers shared by the analysis modules.
+
+/// Arithmetic mean. Returns 0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Population standard deviation. Returns 0 for fewer than two samples.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// Geometric mean of non-negative values (zeros are floored at 1e-12).
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    (xs.iter().map(|&x| x.max(1e-12).ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+/// Linear-interpolated quantile of a sorted slice, `q` in [0, 1].
+///
+/// # Panics
+/// Panics if the slice is empty or `q` is out of range.
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "quantile of empty slice");
+    assert!((0.0..=1.0).contains(&q), "quantile q out of range");
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        sorted[lo] + (sorted[hi] - sorted[lo]) * (pos - lo as f64)
+    }
+}
+
+/// Removes outliers outside the Tukey whiskers `[Q1 − 1.5·IQR, Q3 + 1.5·IQR]`
+/// — the paper's per-type outlier policy for overhead samples.
+pub fn iqr_filter(xs: &[f64]) -> Vec<f64> {
+    if xs.len() < 4 {
+        return xs.to_vec();
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let q1 = quantile_sorted(&sorted, 0.25);
+    let q3 = quantile_sorted(&sorted, 0.75);
+    let iqr = q3 - q1;
+    let (lo, hi) = (q1 - 1.5 * iqr, q3 + 1.5 * iqr);
+    xs.iter().copied().filter(|&x| x >= lo && x <= hi).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&xs), 5.0);
+        assert!((std_dev(&xs) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geomean_of_powers() {
+        assert!((geomean(&[1.0, 4.0, 16.0]) - 4.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 0.0);
+    }
+
+    #[test]
+    fn quantiles() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile_sorted(&xs, 0.0), 1.0);
+        assert_eq!(quantile_sorted(&xs, 1.0), 4.0);
+        assert_eq!(quantile_sorted(&xs, 0.5), 2.5);
+    }
+
+    #[test]
+    fn iqr_filter_drops_tail() {
+        let mut xs = vec![10.0; 40];
+        xs.push(1000.0);
+        let filtered = iqr_filter(&xs);
+        assert_eq!(filtered.len(), 40);
+        assert!(filtered.iter().all(|&x| x == 10.0));
+    }
+
+    #[test]
+    fn iqr_filter_keeps_small_samples() {
+        let xs = [1.0, 100.0, 10000.0];
+        assert_eq!(iqr_filter(&xs), xs.to_vec());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty slice")]
+    fn quantile_empty_panics() {
+        quantile_sorted(&[], 0.5);
+    }
+}

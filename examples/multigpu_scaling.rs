@@ -1,0 +1,62 @@
+//! Multi-GPU what-if (the paper's §V-B extension): predict how hybrid-
+//! parallel DLRM training scales from 1 to 8 GPUs and how much the
+//! embedding-sharding plan matters — all without a cluster.
+//!
+//! Run with `cargo run --release --example multigpu_scaling`.
+
+use dlrm_perf_model::core::pipeline::Pipeline;
+use dlrm_perf_model::distrib::{DistributedDlrm, DistributedPredictor, MultiGpuEngine, ShardingPlan};
+use dlrm_perf_model::gpusim::DeviceSpec;
+use dlrm_perf_model::kernels::CalibrationEffort;
+use dlrm_perf_model::models::DlrmConfig;
+
+fn main() {
+    let device = DeviceSpec::v100();
+    let batch = 4096;
+    let cfg = DlrmConfig::default_config(batch);
+
+    // Calibrate once on single-rank segments.
+    let probe = DistributedDlrm::new(cfg.clone(), ShardingPlan::round_robin(8, 1)).unwrap();
+    println!("calibrating {} ...", device.name);
+    let pipe = Pipeline::analyze(&device, &probe.segments(0), CalibrationEffort::Quick, 15, 3);
+    let predictor = DistributedPredictor::new(pipe.predictor().clone(), device.clone());
+
+    println!("\n== Scaling curve (global batch {batch}, NVLink cluster) ==");
+    println!(
+        "{:>6} {:>12} {:>12} {:>10} {:>10}",
+        "GPUs", "pred/us", "measured/us", "speedup", "comm"
+    );
+    let mut base = None;
+    for world in [1usize, 2, 4, 8] {
+        let job = DistributedDlrm::new(
+            cfg.clone(),
+            ShardingPlan::round_robin(cfg.rows_per_table.len(), world),
+        )
+        .unwrap();
+        let p = predictor.predict(&job).unwrap();
+        let mut engine = MultiGpuEngine::new(device.clone(), 7);
+        let m = engine.measure_e2e(&job, 8).unwrap();
+        let base_t = *base.get_or_insert(p.e2e_us);
+        println!(
+            "{:>6} {:>12.0} {:>12.0} {:>9.2}x {:>9.1}%",
+            world,
+            p.e2e_us,
+            m,
+            base_t / p.e2e_us,
+            p.comm_share() * 100.0
+        );
+    }
+
+    println!("\n== Sharding plans at 4 GPUs ==");
+    let plans: [(&str, ShardingPlan); 2] = [
+        ("round-robin", ShardingPlan::round_robin(8, 4)),
+        ("all-on-gpu0 (worst)", ShardingPlan::new(vec![0; 8], 4).unwrap()),
+    ];
+    for (name, plan) in plans {
+        let job = DistributedDlrm::new(cfg.clone(), plan).unwrap();
+        let p = predictor.predict(&job).unwrap();
+        println!("{name:22} predicted {:>9.0} us/iter", p.e2e_us);
+    }
+    println!("\nThe predictor exposes both the comm overhead of scaling out and the");
+    println!("straggler cost of a bad sharding plan — before provisioning any GPU.");
+}

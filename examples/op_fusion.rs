@@ -1,0 +1,49 @@
+//! The Fig. 11 op-fusion case study: a DLRM variant with separate
+//! `embedding_bag` ops per table (left side of the figure) is fused into a
+//! single batched embedding op (right side), and the performance model
+//! prices both variants without running either.
+//!
+//! Run with `cargo run --release --example op_fusion`.
+
+use dlrm_perf_model::core::codesign::fusion_whatif;
+use dlrm_perf_model::core::pipeline::Pipeline;
+use dlrm_perf_model::gpusim::DeviceSpec;
+use dlrm_perf_model::kernels::CalibrationEffort;
+use dlrm_perf_model::models::DlrmConfig;
+use dlrm_perf_model::trace::engine::ExecutionEngine;
+
+fn main() {
+    let device = DeviceSpec::v100();
+    // Many tables with separate bag ops: heavy per-op overhead, the fusion
+    // target the paper's trace analysis flags.
+    let config = DlrmConfig {
+        rows_per_table: vec![200_000; 16],
+        ..DlrmConfig::default_config(1024)
+    }
+    .with_batched_embedding(false);
+    let unfused = config.build();
+
+    let pipeline =
+        Pipeline::analyze(&device, std::slice::from_ref(&unfused), CalibrationEffort::Quick, 20, 5);
+
+    let outcome = fusion_whatif(&pipeline, &unfused).expect("graph contains fusable bags");
+    println!("== Predicted (no execution needed) ==");
+    println!(
+        "separate bags : {:9.0} us/batch ({} embedding_bag ops + cat)",
+        outcome.before.e2e_us, outcome.report.forward_bags_fused
+    );
+    println!("batched op    : {:9.0} us/batch", outcome.after.e2e_us);
+    println!("speedup       : {:.2}x", outcome.speedup());
+
+    // Cross-check the what-if against the simulated hardware.
+    let mut fused_graph = unfused.clone();
+    dlrm_perf_model::graph::transform::fuse_embedding_bags(&mut fused_graph).expect("fusable");
+    let mut engine = ExecutionEngine::new(device.clone(), 3);
+    let before = engine.measure_e2e(&unfused, 15).expect("executes");
+    let mut engine = ExecutionEngine::new(device, 3);
+    let after = engine.measure_e2e(&fused_graph, 15).expect("executes");
+    println!("\n== Measured on the simulated device ==");
+    println!("separate bags : {before:9.0} us/batch");
+    println!("batched op    : {after:9.0} us/batch");
+    println!("speedup       : {:.2}x", before / after);
+}

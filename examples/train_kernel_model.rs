@@ -1,0 +1,60 @@
+//! Train an ML-based kernel performance model the way the paper does:
+//! microbenchmark sweep → Table II grid search → evaluate GMAE on a
+//! held-out sweep.
+//!
+//! Run with `cargo run --release --example train_kernel_model`.
+//! Pass `--full-grid` to search the complete 280-configuration Table II
+//! space instead of the reduced one (slow).
+
+use dlrm_perf_model::gpusim::DeviceSpec;
+use dlrm_perf_model::kernels::error::ErrorStats;
+use dlrm_perf_model::kernels::microbench::{gemm_specs, Microbenchmark};
+use dlrm_perf_model::kernels::mlbased::{dataset_of, features, MlKernelModel};
+use dlrm_perf_model::nn::gridsearch::{grid_search, SearchSpace};
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full-grid");
+    let device = DeviceSpec::v100();
+
+    println!("sweeping {} GEMM shapes on {} ...", 600, device.name);
+    let mut mb = Microbenchmark::new(&device, 1, 15);
+    let train_samples = mb.measure(&gemm_specs(600, 10));
+    let eval_samples = mb.measure(&gemm_specs(150, 999));
+
+    let space = if full { SearchSpace::paper() } else { SearchSpace::reduced() };
+    println!(
+        "grid-searching {} configurations (MSE loss, log-preprocessed features) ...",
+        space.configurations().len()
+    );
+    let data = dataset_of(&train_samples);
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let result = grid_search(&data, &space, 120, threads, 42);
+
+    println!("\nbest configuration: {:?}", result.best);
+    println!("validation MAPE: {:.2}%", result.model.val_mape * 100.0);
+    for (hp, err) in result.trials.iter().take(8) {
+        println!(
+            "  layers={} width={:4} {}@{:<7.0e} -> val MAPE {:5.2}%",
+            hp.num_layers,
+            hp.width,
+            hp.optimizer,
+            hp.learning_rate,
+            err * 100.0
+        );
+    }
+
+    // Wrap into a kernel model and evaluate on the held-out sweep.
+    let cfg = dlrm_perf_model::nn::train::TrainConfig {
+        hidden_layers: result.best.num_layers,
+        width: result.best.width,
+        optimizer: result.best.optimizer,
+        learning_rate: result.best.learning_rate,
+        epochs: 200,
+        ..Default::default()
+    };
+    let model = MlKernelModel::train(&train_samples, &cfg, 7);
+    let preds: Vec<f64> = eval_samples.iter().map(|s| model.predict(&s.kernel)).collect();
+    let actual: Vec<f64> = eval_samples.iter().map(|s| s.time_us).collect();
+    println!("\nheld-out evaluation: {}", ErrorStats::from_pairs(&preds, &actual));
+    println!("feature vector of a 1024x1024x1024 GEMM: {:?}", features(&eval_samples[0].kernel));
+}

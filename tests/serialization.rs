@@ -1,0 +1,91 @@
+//! Serialization integration: the two JSON artifacts the pipeline persists
+//! (execution graphs and overhead databases) round-trip faithfully.
+
+use dlrm_perf_model::core::pipeline::Pipeline;
+use dlrm_perf_model::gpusim::DeviceSpec;
+use dlrm_perf_model::graph::Graph;
+use dlrm_perf_model::kernels::{CalibrationEffort, ModelRegistry};
+use dlrm_perf_model::models::DlrmConfig;
+use dlrm_perf_model::trace::{OverheadStats, OverheadType};
+
+#[test]
+fn execution_graph_round_trips_through_json() {
+    let g = DlrmConfig {
+        rows_per_table: vec![10_000; 4],
+        ..DlrmConfig::mlperf_config(512)
+    }
+    .build();
+    let json = g.to_json();
+    let back = Graph::from_json(&json).expect("valid graph JSON");
+    assert_eq!(back.node_count(), g.node_count());
+    assert_eq!(back.tensor_count(), g.tensor_count());
+    for (a, b) in g.nodes().iter().zip(back.nodes()) {
+        assert_eq!(a.op, b.op);
+        assert_eq!(a.inputs, b.inputs);
+        assert_eq!(a.outputs, b.outputs);
+    }
+}
+
+#[test]
+fn reloaded_graph_predicts_identically() {
+    let device = DeviceSpec::v100();
+    let g = DlrmConfig {
+        rows_per_table: vec![10_000; 4],
+        ..DlrmConfig::default_config(256)
+    }
+    .build();
+    let pipe = Pipeline::analyze(&device, std::slice::from_ref(&g), CalibrationEffort::Quick, 8, 1);
+    let reloaded = Graph::from_json(&g.to_json()).unwrap();
+    assert_eq!(
+        pipe.predict(&g).unwrap().e2e_us,
+        pipe.predict(&reloaded).unwrap().e2e_us
+    );
+}
+
+#[test]
+fn overhead_db_json_preserves_all_cells() {
+    let device = DeviceSpec::p100();
+    let g = DlrmConfig {
+        rows_per_table: vec![10_000; 4],
+        ..DlrmConfig::default_config(256)
+    }
+    .build();
+    let pipe = Pipeline::analyze(&device, std::slice::from_ref(&g), CalibrationEffort::Quick, 8, 2);
+    let json = pipe.shared_overheads_json();
+    let back = OverheadStats::from_json(&json).expect("valid DB JSON");
+    for ty in OverheadType::ALL {
+        let orig = pipe.predictor();
+        // Compare a few representative op keys.
+        for key in ["aten::addmm", "aten::relu", "batched_embedding"] {
+            let _ = orig; // predictor holds the same merged stats
+            assert!(
+                back.mean_us(key, ty) > 0.0,
+                "cell ({key}, {ty}) lost in round trip"
+            );
+        }
+    }
+}
+
+#[test]
+fn pipeline_rebuilds_from_persisted_assets() {
+    // The large-scale-prediction workflow: persist the overhead DB, rebuild
+    // a pipeline from it plus a fresh registry, and predict.
+    let device = DeviceSpec::v100();
+    let g = DlrmConfig {
+        rows_per_table: vec![10_000; 4],
+        ..DlrmConfig::default_config(256)
+    }
+    .build();
+    let pipe = Pipeline::analyze(&device, std::slice::from_ref(&g), CalibrationEffort::Quick, 8, 3);
+    let json = pipe.shared_overheads_json();
+
+    let stats = OverheadStats::from_json(&json).unwrap();
+    let registry = ModelRegistry::calibrate(&device, CalibrationEffort::Quick, 0xabcd ^ 3);
+    let rebuilt = Pipeline::from_assets(device, registry, stats);
+    let a = pipe.predict(&g).unwrap().e2e_us;
+    let b = rebuilt.predict(&g).unwrap().e2e_us;
+    assert!(
+        (a - b).abs() / a < 1e-9,
+        "rebuilt pipeline diverged: {a} vs {b}"
+    );
+}

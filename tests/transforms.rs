@@ -1,0 +1,115 @@
+//! Integration tests of the co-design transformations against both the
+//! engine (simulated measurement) and the predictor.
+
+use dlrm_perf_model::core::codesign::{batch_size_sweep, fusion_whatif};
+use dlrm_perf_model::core::pipeline::Pipeline;
+use dlrm_perf_model::gpusim::DeviceSpec;
+use dlrm_perf_model::graph::transform::{
+    fuse_embedding_bags, independent_groups, parallelize, resize_batch,
+};
+use dlrm_perf_model::graph::OpKind;
+use dlrm_perf_model::kernels::CalibrationEffort;
+use dlrm_perf_model::models::DlrmConfig;
+use dlrm_perf_model::trace::engine::ExecutionEngine;
+
+fn small(batch: u64) -> DlrmConfig {
+    DlrmConfig { rows_per_table: vec![50_000; 8], ..DlrmConfig::default_config(batch) }
+}
+
+#[test]
+fn resized_graph_equals_rebuilt_graph() {
+    // Resizing a captured batch-512 graph to 2048 must predict the same as
+    // building the 2048 graph from scratch (it is a pure metadata rewrite).
+    let pipeline = Pipeline::analyze(
+        &DeviceSpec::v100(),
+        &[small(512).build()],
+        CalibrationEffort::Quick,
+        10,
+        1,
+    );
+    let mut resized = small(512).build();
+    resize_batch(&mut resized, 2048).unwrap();
+    let rebuilt = small(2048).build();
+    let a = pipeline.predict(&resized).unwrap().e2e_us;
+    let b = pipeline.predict(&rebuilt).unwrap().e2e_us;
+    assert!((a - b).abs() < 1e-6, "resized {a} vs rebuilt {b}");
+}
+
+#[test]
+fn fusion_whatif_matches_simulated_outcome_direction() {
+    // The predicted fusion speedup and the simulated one must agree in
+    // direction and roughly in magnitude (the Fig. 11 use case).
+    let device = DeviceSpec::v100();
+    let unfused = small(512).with_batched_embedding(false).build();
+    let pipeline =
+        Pipeline::analyze(&device, std::slice::from_ref(&unfused), CalibrationEffort::Quick, 15, 2);
+    let outcome = fusion_whatif(&pipeline, &unfused).unwrap();
+
+    let mut fused = unfused.clone();
+    fuse_embedding_bags(&mut fused).unwrap();
+    let mut engine = ExecutionEngine::new(device.clone(), 8);
+    engine.set_profiling(false);
+    let measured_before = engine.measure_e2e(&unfused, 10).unwrap();
+    let mut engine = ExecutionEngine::new(device, 8);
+    engine.set_profiling(false);
+    let measured_after = engine.measure_e2e(&fused, 10).unwrap();
+    let measured_speedup = measured_before / measured_after;
+
+    assert!(outcome.speedup() > 1.0, "fusion predicted to pay off");
+    assert!(measured_speedup > 1.0, "fusion measured to pay off");
+    assert!(
+        (outcome.speedup() / measured_speedup - 1.0).abs() < 0.25,
+        "predicted {:.3}x vs measured {:.3}x",
+        outcome.speedup(),
+        measured_speedup
+    );
+}
+
+#[test]
+fn parallelize_speedup_predicted_and_measured() {
+    // Assign the per-table embedding branches to separate streams; both the
+    // engine and the predictor should see the overlap.
+    let device = DeviceSpec::v100();
+    let serial = small(2048).with_batched_embedding(false).build();
+    let mut streamed = serial.clone();
+    let bags: Vec<_> = streamed
+        .nodes()
+        .iter()
+        .filter(|n| n.op == OpKind::EmbeddingBag)
+        .map(|n| n.id)
+        .collect();
+    let groups = independent_groups(&streamed, &bags);
+    assert!(groups.len() > 1, "embedding bags should be independent");
+    parallelize(&mut streamed, &groups).unwrap();
+
+    let pipeline =
+        Pipeline::analyze(&device, std::slice::from_ref(&serial), CalibrationEffort::Quick, 10, 4);
+    let p_serial = pipeline.predict(&serial).unwrap();
+    let p_streamed = pipeline.predict(&streamed).unwrap();
+    assert!(
+        p_streamed.gpu_us <= p_serial.gpu_us + 1e-9,
+        "streams cannot make the GPU clock worse: {} vs {}",
+        p_streamed.gpu_us,
+        p_serial.gpu_us
+    );
+}
+
+#[test]
+fn batch_sweep_scales_active_time_superlinearly_vs_overheads() {
+    // Per-sample efficiency improves with batch size: us/sample at 4096
+    // must be well below us/sample at 128.
+    let pipeline = Pipeline::analyze(
+        &DeviceSpec::p100(),
+        &[small(256).build()],
+        CalibrationEffort::Quick,
+        10,
+        6,
+    );
+    let sweep = batch_size_sweep(&pipeline, &small(256).build(), &[128, 4096]).unwrap();
+    let per_sample_small = sweep[0].1.e2e_us / 128.0;
+    let per_sample_big = sweep[1].1.e2e_us / 4096.0;
+    assert!(
+        per_sample_big < 0.5 * per_sample_small,
+        "{per_sample_big:.3} vs {per_sample_small:.3} us/sample"
+    );
+}
