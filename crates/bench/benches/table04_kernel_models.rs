@@ -15,7 +15,7 @@ use dlperf_kernels::{ErrorStats, ModelRegistry};
 fn eval_pairs(samples: &[Sample], predict: impl Fn(&KernelSpec) -> f64) -> ErrorStats {
     let preds: Vec<f64> = samples.iter().map(|s| predict(&s.kernel)).collect();
     let actual: Vec<f64> = samples.iter().map(|s| s.time_us).collect();
-    ErrorStats::from_pairs(&preds, &actual)
+    ErrorStats::try_from_pairs(&preds, &actual).expect("evaluation samples are well-formed")
 }
 
 fn is_large(k: &KernelSpec) -> bool {

@@ -83,7 +83,7 @@ impl MlPredictLike {
             .map(|_| {
                 let dims = [64u64, 128, 256, 512, 1024];
                 KernelSpec::Gemm {
-                    m: [16u64, 32, 64][rng.gen_range(0..3)], // small batches only
+                    m: [16u64, 32, 64][rng.gen_range(0..3usize)], // small batches only
                     n: dims[rng.gen_range(0..dims.len())],
                     k: dims[rng.gen_range(0..dims.len())],
                     batch: 1,
@@ -92,14 +92,14 @@ impl MlPredictLike {
             .collect();
         let conv_specs: Vec<KernelSpec> = (0..180)
             .map(|_| {
-                let k = [1u64, 3, 5][rng.gen_range(0..3)];
-                let hw = [14u64, 28, 56][rng.gen_range(0..3)];
+                let k = [1u64, 3, 5][rng.gen_range(0..3usize)];
+                let hw = [14u64, 28, 56][rng.gen_range(0..3usize)];
                 KernelSpec::Conv2d {
-                    batch: [8u64, 16, 32][rng.gen_range(0..3)],
-                    c_in: [32u64, 64, 128][rng.gen_range(0..3)],
+                    batch: [8u64, 16, 32][rng.gen_range(0..3usize)],
+                    c_in: [32u64, 64, 128][rng.gen_range(0..3usize)],
                     h: hw,
                     w: hw,
-                    c_out: [32u64, 64, 128][rng.gen_range(0..3)],
+                    c_out: [32u64, 64, 128][rng.gen_range(0..3usize)],
                     kh: k,
                     kw: k,
                     stride: 1,

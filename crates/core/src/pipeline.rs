@@ -14,10 +14,72 @@ use dlperf_gpusim::DeviceSpec;
 use dlperf_graph::lower::LowerError;
 use dlperf_graph::Graph;
 use dlperf_kernels::{CalibrationEffort, ModelRegistry};
-use dlperf_trace::engine::ExecutionEngine;
+use dlperf_trace::engine::{EngineError, ExecutionEngine};
 use dlperf_trace::{OverheadStats, Trace};
 
 use crate::predictor::{E2ePredictor, Prediction};
+
+/// Errors raised by the resilient analysis track.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PipelineError {
+    /// No workloads were given.
+    NoWorkloads,
+    /// Zero analysis iterations were requested.
+    NoIterations,
+    /// Every workload failed to execute; nothing could be analyzed.
+    /// Carries each workload's name and failure.
+    AllWorkloadsFailed(Vec<(String, EngineError)>),
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::NoWorkloads => write!(f, "analysis needs at least one workload"),
+            PipelineError::NoIterations => write!(f, "analysis needs at least one iteration"),
+            PipelineError::AllWorkloadsFailed(fails) => {
+                write!(f, "all {} workloads failed analysis:", fails.len())?;
+                for (name, e) in fails {
+                    write!(f, " [{name}: {e}]")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+/// What the resilient analysis track did with each workload.
+#[derive(Debug, Clone, Default)]
+pub struct AnalysisReport {
+    /// Workloads analyzed successfully, in input order.
+    pub analyzed: Vec<String>,
+    /// Workloads skipped, each with the error that disqualified it.
+    pub skipped: Vec<(String, EngineError)>,
+}
+
+impl AnalysisReport {
+    /// Whether every input workload made it into the pipeline.
+    pub fn is_clean(&self) -> bool {
+        self.skipped.is_empty()
+    }
+
+    /// One-line human-readable summary naming any skipped workloads.
+    pub fn summary(&self) -> String {
+        if self.is_clean() {
+            format!("analyzed {} workload(s), none skipped", self.analyzed.len())
+        } else {
+            let names: Vec<String> =
+                self.skipped.iter().map(|(n, e)| format!("`{n}` ({e})")).collect();
+            format!(
+                "analyzed {} workload(s), skipped {}: {}",
+                self.analyzed.len(),
+                self.skipped.len(),
+                names.join(", ")
+            )
+        }
+    }
+}
 
 /// A calibrated pipeline: kernel models plus an overhead database for one
 /// device, ready to price execution graphs.
@@ -81,6 +143,69 @@ impl Pipeline {
             predictor: E2ePredictor::new(registry, shared),
             per_workload,
         }
+    }
+
+    /// The fault-tolerant analysis track: like [`Pipeline::analyze`], but
+    /// one malformed workload no longer aborts the whole analysis — it is
+    /// skipped, recorded, and named in the returned [`AnalysisReport`].
+    ///
+    /// # Errors
+    /// Returns a typed [`PipelineError`] when the inputs are unusable
+    /// (empty workload list, zero iterations) or *every* workload fails.
+    pub fn analyze_resilient(
+        device: &DeviceSpec,
+        workloads: &[Graph],
+        effort: CalibrationEffort,
+        iters: usize,
+        seed: u64,
+    ) -> Result<(Self, AnalysisReport), PipelineError> {
+        let registry = ModelRegistry::calibrate(device, effort, seed ^ 0xabcd);
+        Self::analyze_resilient_with_registry(device, workloads, registry, iters, seed)
+    }
+
+    /// Like [`Pipeline::analyze_resilient`] but reusing an
+    /// already-calibrated kernel registry.
+    ///
+    /// # Errors
+    /// Same as [`Pipeline::analyze_resilient`].
+    pub fn analyze_resilient_with_registry(
+        device: &DeviceSpec,
+        workloads: &[Graph],
+        registry: ModelRegistry,
+        iters: usize,
+        seed: u64,
+    ) -> Result<(Self, AnalysisReport), PipelineError> {
+        if workloads.is_empty() {
+            return Err(PipelineError::NoWorkloads);
+        }
+        if iters == 0 {
+            return Err(PipelineError::NoIterations);
+        }
+
+        let mut report = AnalysisReport::default();
+        let mut per_workload = Vec::new();
+        for (i, g) in workloads.iter().enumerate() {
+            let mut engine = ExecutionEngine::new(device.clone(), seed.wrapping_add(i as u64));
+            match engine.run_iterations(g, iters) {
+                Ok(runs) => {
+                    let traces: Vec<Trace> = runs.into_iter().map(|r| r.trace).collect();
+                    per_workload.push((g.name.clone(), OverheadStats::extract(&traces, true)));
+                    report.analyzed.push(g.name.clone());
+                }
+                Err(e) => report.skipped.push((g.name.clone(), e)),
+            }
+        }
+        if per_workload.is_empty() {
+            return Err(PipelineError::AllWorkloadsFailed(report.skipped));
+        }
+
+        let shared = OverheadStats::merge(&per_workload.iter().map(|(_, s)| s).collect::<Vec<_>>());
+        let pipeline = Pipeline {
+            device: device.clone(),
+            predictor: E2ePredictor::new(registry, shared),
+            per_workload,
+        };
+        Ok((pipeline, report))
     }
 
     /// Builds a pipeline from precomputed assets (e.g. a JSON overhead
@@ -192,5 +317,52 @@ mod tests {
     #[should_panic(expected = "at least one workload")]
     fn empty_workloads_panic() {
         Pipeline::analyze(&DeviceSpec::v100(), &[], CalibrationEffort::Quick, 5, 0);
+    }
+
+    /// A graph whose only op cannot lower (AddMm with one input).
+    fn malformed(name: &str) -> Graph {
+        use dlperf_graph::{OpKind, TensorMeta};
+        let mut g = Graph::new(name);
+        let x = g.add_tensor(TensorMeta::activation(&[8, 8]));
+        let y = g.add_tensor(TensorMeta::activation(&[8, 8]));
+        g.add_op(OpKind::AddMm, vec![x], vec![y]);
+        g
+    }
+
+    #[test]
+    fn resilient_analysis_skips_and_names_malformed_workload() {
+        let dev = DeviceSpec::v100();
+        let workloads = vec![small(128), malformed("broken-graph"), small(256)];
+        let (pipe, report) =
+            Pipeline::analyze_resilient(&dev, &workloads, CalibrationEffort::Quick, 5, 6)
+                .expect("two good workloads remain");
+        assert_eq!(pipe.workloads().len(), 2);
+        assert_eq!(report.analyzed.len(), 2);
+        assert_eq!(report.skipped.len(), 1);
+        assert_eq!(report.skipped[0].0, "broken-graph");
+        assert!(report.summary().contains("broken-graph"), "summary: {}", report.summary());
+        // The surviving pipeline still predicts.
+        assert!(pipe.predict(&workloads[0]).unwrap().e2e_us > 0.0);
+    }
+
+    #[test]
+    fn resilient_analysis_typed_errors() {
+        let dev = DeviceSpec::v100();
+        assert_eq!(
+            Pipeline::analyze_resilient(&dev, &[], CalibrationEffort::Quick, 5, 0).err(),
+            Some(PipelineError::NoWorkloads)
+        );
+        assert_eq!(
+            Pipeline::analyze_resilient(&dev, &[small(64)], CalibrationEffort::Quick, 0, 0).err(),
+            Some(PipelineError::NoIterations)
+        );
+        match Pipeline::analyze_resilient(&dev, &[malformed("only")], CalibrationEffort::Quick, 3, 0)
+        {
+            Err(PipelineError::AllWorkloadsFailed(fails)) => {
+                assert_eq!(fails.len(), 1);
+                assert_eq!(fails[0].0, "only");
+            }
+            other => panic!("expected AllWorkloadsFailed, got {other:?}"),
+        }
     }
 }

@@ -17,7 +17,7 @@ use std::collections::HashMap;
 
 use dlperf_graph::lower::{self, LowerError};
 use dlperf_graph::{Graph, TensorId};
-use dlperf_kernels::ModelRegistry;
+use dlperf_kernels::{Confidence, ModelRegistry};
 use dlperf_trace::{OverheadStats, OverheadType};
 
 /// How T4 (CUDA runtime call time) is priced.
@@ -50,6 +50,11 @@ pub struct Prediction {
     pub cpu_us: f64,
     /// Final GPU clock (max across streams, µs).
     pub gpu_us: f64,
+    /// Kernels priced by the degraded datasheet-roofline fallback because
+    /// no calibrated model was registered for their family. Zero means the
+    /// whole prediction is calibrated; non-zero predictions should be
+    /// treated as best-effort estimates.
+    pub degraded_kernels: usize,
 }
 
 impl Prediction {
@@ -60,6 +65,11 @@ impl Prediction {
         } else {
             0.0
         }
+    }
+
+    /// Whether every kernel was priced by a calibrated model.
+    pub fn is_fully_calibrated(&self) -> bool {
+        self.degraded_kernels == 0
     }
 }
 
@@ -153,6 +163,7 @@ impl E2ePredictor {
         let mut streams: HashMap<usize, f64> = HashMap::new();
         let mut tensor_ready: HashMap<TensorId, f64> = HashMap::new();
         let mut active = 0.0f64;
+        let mut degraded_kernels = 0usize;
 
         for node in graph.nodes() {
             let key = node.op.overhead_key();
@@ -173,7 +184,12 @@ impl E2ePredictor {
                 let t4 = self.t4(key);
                 let n = kernels.len();
                 for (i, k) in kernels.into_iter().enumerate() {
-                    let t_k = self.registry.predict(&k);
+                    // Degraded fallback instead of a panic when a family
+                    // has no calibrated model; counted, not fatal.
+                    let (t_k, conf) = self.registry.predict_with_confidence(&k);
+                    if conf == Confidence::Degraded {
+                        degraded_kernels += 1;
+                    }
                     active += t_k;
                     let gpu = streams.entry(node.stream).or_insert(0.0);
                     let start = (*gpu + self.kernel_gap_us).max(cpu + self.launch_factor * t4).max(dep_ready);
@@ -194,7 +210,13 @@ impl E2ePredictor {
         }
 
         let gpu = streams.values().fold(0.0f64, |a, &b| a.max(b));
-        Ok(Prediction { e2e_us: cpu.max(gpu), active_us: active, cpu_us: cpu, gpu_us: gpu })
+        Ok(Prediction {
+            e2e_us: cpu.max(gpu),
+            active_us: active,
+            cpu_us: cpu,
+            gpu_us: gpu,
+            degraded_kernels,
+        })
     }
 
     /// Predicted GPU active time alone (the sum of kernel predictions) —
@@ -206,7 +228,7 @@ impl E2ePredictor {
         let mut total = 0.0;
         for node in graph.nodes() {
             for k in lower::try_kernels(graph, node)? {
-                total += self.registry.predict(&k);
+                total += self.registry.predict_with_confidence(&k).0;
             }
         }
         Ok(total)

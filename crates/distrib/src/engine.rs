@@ -5,28 +5,43 @@
 //! independent noise); every collective is a barrier — it starts when the
 //! slowest rank arrives and all ranks leave together, as NCCL-synchronized
 //! training behaves.
+//!
+//! A [`dlperf_faults::FaultPlan`] can be installed on the engine: straggler
+//! ranks and kernel slowdowns degrade the per-rank engines, and collectives
+//! run under a timeout + exponential-backoff retry model whose penalties
+//! (and eventual drops) are surfaced in [`DistributedRunResult`] instead of
+//! aborting the run.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rand_distr::{Distribution, LogNormal};
 
+use dlperf_faults::{FaultInjector, FaultPlan};
 use dlperf_gpusim::{collective, DeviceSpec};
-use dlperf_graph::lower::LowerError;
-use dlperf_trace::engine::ExecutionEngine;
+use dlperf_trace::engine::{EngineError, ExecutionEngine};
 
 use crate::builder::DistributedDlrm;
 
 /// Measured timeline of one distributed iteration.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DistributedRunResult {
     /// End-to-end iteration time (µs).
     pub e2e_us: f64,
     /// Per-segment compute time: `max` over ranks (µs), S1..S4.
     pub segment_us: [f64; 4],
-    /// Per-collective time (µs), C1..C3.
+    /// Per-collective time (µs), C1..C3 — includes any retry penalties.
     pub comm_us: [f64; 3],
     /// Per-rank per-segment compute times (`[rank][segment]`).
     pub per_rank_us: Vec<[f64; 4]>,
+    /// Total collective retries this iteration (0 when healthy).
+    pub collective_retries: u32,
+    /// Latency added by collective timeouts and backoff (µs); already
+    /// folded into `comm_us` so the timeline stays consistent.
+    pub retry_added_us: f64,
+    /// Which collectives (C1..C3) were abandoned after exhausting retries.
+    pub dropped_collectives: [bool; 3],
+    /// Human-readable degradation notes (empty when nothing degraded).
+    pub degradation: Vec<String>,
 }
 
 impl DistributedRunResult {
@@ -54,12 +69,29 @@ pub struct MultiGpuEngine {
     seed: u64,
     rng: StdRng,
     profiling: bool,
+    injector: Option<FaultInjector>,
+    /// Iteration counter keying per-iteration fault sites.
+    iteration: u64,
 }
 
 impl MultiGpuEngine {
     /// Creates a cluster engine of identical `device`s.
     pub fn new(device: DeviceSpec, seed: u64) -> Self {
-        MultiGpuEngine { device, seed, rng: StdRng::seed_from_u64(seed ^ 0xc0), profiling: false }
+        MultiGpuEngine {
+            device,
+            seed,
+            rng: StdRng::seed_from_u64(seed ^ 0xc0),
+            profiling: false,
+            injector: None,
+            iteration: 0,
+        }
+    }
+
+    /// Creates a cluster engine with a fault plan installed.
+    pub fn with_faults(device: DeviceSpec, seed: u64, plan: FaultPlan) -> Self {
+        let mut e = Self::new(device, seed);
+        e.set_fault_plan(plan);
+        e
     }
 
     /// Enables profiler-overhead injection in per-rank runs.
@@ -67,17 +99,51 @@ impl MultiGpuEngine {
         self.profiling = profiling;
     }
 
+    /// Installs (or replaces) the fault plan and resets the iteration
+    /// counter, so the same engine state + plan replays identically.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.injector = Some(FaultInjector::new(plan));
+        self.iteration = 0;
+    }
+
+    /// Removes any installed fault plan.
+    pub fn clear_faults(&mut self) {
+        self.injector = None;
+        self.iteration = 0;
+    }
+
+    /// The installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.injector.as_ref().map(FaultInjector::plan)
+    }
+
     /// Measures one distributed iteration.
     ///
     /// # Errors
-    /// Propagates lowering errors from malformed segment graphs.
-    pub fn run(&mut self, job: &DistributedDlrm) -> Result<DistributedRunResult, LowerError> {
+    /// Propagates [`EngineError`]s from malformed segment graphs or
+    /// degenerate kernel times.
+    pub fn run(&mut self, job: &DistributedDlrm) -> Result<DistributedRunResult, EngineError> {
+        let iteration = self.iteration;
+        self.iteration += 1;
+
         let world = job.world();
+        let mut degradation = Vec::new();
         let mut per_rank_us = vec![[0.0f64; 4]; world];
         for (rank, rank_us) in per_rank_us.iter_mut().enumerate() {
             let mut engine =
                 ExecutionEngine::new(self.device.clone(), self.seed ^ (rank as u64) << 8);
             engine.set_profiling(self.profiling);
+            if let Some(inj) = &self.injector {
+                let profile = inj.slowdown_profile(rank);
+                if !profile.is_identity() {
+                    if profile.global != 1.0 && iteration == 0 {
+                        degradation
+                            .push(format!("rank {rank} straggling ×{:.2}", profile.global));
+                    }
+                    engine.set_slowdown(profile);
+                }
+                engine.set_host_jitter(inj.host_jitter_us());
+            }
             for (i, seg) in job.segments(rank).iter().enumerate() {
                 rank_us[i] = engine.run(seg)?.e2e_us;
             }
@@ -87,12 +153,41 @@ impl MultiGpuEngine {
             *seg = per_rank_us.iter().map(|r| r[i]).fold(0.0, f64::max);
         }
 
-        // Collectives with run-to-run jitter (NCCL timing variance).
+        // Collectives with run-to-run jitter (NCCL timing variance), then
+        // the fault plan's timeout/retry model on top.
         let jitter = LogNormal::new(0.0, 0.04).expect("valid lognormal");
         let specs = job.collectives();
         let mut comm_us = [0.0f64; 3];
-        for (c, spec) in comm_us.iter_mut().zip(&specs) {
-            *c = collective::simulate(&self.device, spec) * jitter.sample(&mut self.rng);
+        let mut collective_retries = 0u32;
+        let mut retry_added_us = 0.0f64;
+        let mut dropped_collectives = [false; 3];
+        for (idx, (c, spec)) in comm_us.iter_mut().zip(&specs).enumerate() {
+            let base = collective::simulate(&self.device, spec) * jitter.sample(&mut self.rng);
+            *c = base;
+            // A single rank exchanges nothing; there is no wire to fail.
+            if spec.world <= 1 {
+                continue;
+            }
+            if let Some(inj) = &self.injector {
+                let outcome = inj.collective_outcome(iteration, idx, base);
+                *c = outcome.total_us;
+                collective_retries += outcome.retries;
+                retry_added_us += outcome.added_latency_us;
+                if outcome.retries > 0 {
+                    degradation.push(format!(
+                        "C{} {} {}: {} retr{}, +{:.0} µs",
+                        idx + 1,
+                        spec.kind,
+                        if outcome.dropped { "dropped" } else { "recovered" },
+                        outcome.retries,
+                        if outcome.retries == 1 { "y" } else { "ies" },
+                        outcome.added_latency_us
+                    ));
+                }
+                if outcome.dropped {
+                    dropped_collectives[idx] = true;
+                }
+            }
         }
 
         Ok(DistributedRunResult {
@@ -100,14 +195,18 @@ impl MultiGpuEngine {
             segment_us,
             comm_us,
             per_rank_us,
+            collective_retries,
+            retry_added_us,
+            dropped_collectives,
+            degradation,
         })
     }
 
     /// Mean E2E time over `iters` iterations.
     ///
     /// # Errors
-    /// Propagates lowering errors.
-    pub fn measure_e2e(&mut self, job: &DistributedDlrm, iters: usize) -> Result<f64, LowerError> {
+    /// Propagates [`EngineError`]s.
+    pub fn measure_e2e(&mut self, job: &DistributedDlrm, iters: usize) -> Result<f64, EngineError> {
         assert!(iters > 0, "need at least one iteration");
         let mut total = 0.0;
         for _ in 0..iters {
@@ -162,6 +261,79 @@ mod tests {
         // S1 contains the embedding forward: the skewed plan must be less
         // balanced there.
         assert!(rs.segment_imbalance(0) > rb.segment_imbalance(0));
+    }
+
+    #[test]
+    fn healthy_run_reports_no_degradation() {
+        let mut e = MultiGpuEngine::new(DeviceSpec::v100(), 5);
+        let r = e.run(&job(4, 1024)).unwrap();
+        assert_eq!(r.collective_retries, 0);
+        assert_eq!(r.retry_added_us, 0.0);
+        assert_eq!(r.dropped_collectives, [false; 3]);
+        assert!(r.degradation.is_empty());
+    }
+
+    #[test]
+    fn straggler_rank_inflates_segment_imbalance() {
+        let j = job(4, 1024);
+        let mut healthy = MultiGpuEngine::new(DeviceSpec::v100(), 6);
+        let rh = healthy.run(&j).unwrap();
+        // DLRM segments are host-overhead dominated, so a GPU-side straggler
+        // needs a large factor before it dominates rank-to-rank noise.
+        let mut faulty = MultiGpuEngine::with_faults(
+            DeviceSpec::v100(),
+            6,
+            FaultPlan::healthy(0).with_straggler(0, 10.0),
+        );
+        let rf = faulty.run(&j).unwrap();
+        // The fault is confined to rank 0: every other rank's times are
+        // bitwise identical to the healthy run.
+        for rank in 1..4 {
+            assert_eq!(rf.per_rank_us[rank], rh.per_rank_us[rank], "rank {rank} was touched");
+        }
+        for seg in 0..4 {
+            assert!(rf.per_rank_us[0][seg] > rh.per_rank_us[0][seg], "rank 0 S{seg} not slowed");
+        }
+        assert!(
+            rf.segment_imbalance(1) > rh.segment_imbalance(1),
+            "straggler should skew S2: {} vs {}",
+            rf.segment_imbalance(1),
+            rh.segment_imbalance(1)
+        );
+        assert!(rf.e2e_us > rh.e2e_us);
+        assert!(rf.degradation.iter().any(|d| d.contains("straggling")));
+    }
+
+    #[test]
+    fn flaky_collectives_add_retry_latency_consistently() {
+        let j = job(4, 1024);
+        let plan = FaultPlan::healthy(11).with_collective_faults(0.9, 800.0, 3, 40.0);
+        let mut e = MultiGpuEngine::with_faults(DeviceSpec::v100(), 7, plan);
+        // Accumulate over a few iterations: p=0.9 makes retries certain in
+        // expectation without depending on one specific hash value.
+        let mut retries = 0;
+        for _ in 0..5 {
+            let r = e.run(&j).unwrap();
+            let parts: f64 = r.segment_us.iter().sum::<f64>() + r.comm_us.iter().sum::<f64>();
+            assert!((r.e2e_us - parts).abs() < 1e-9, "timeline must stay consistent");
+            assert!(r.e2e_us.is_finite() && r.e2e_us > 0.0);
+            retries += r.collective_retries;
+            if r.collective_retries > 0 {
+                assert!(r.retry_added_us > 0.0);
+                assert!(!r.degradation.is_empty());
+            }
+        }
+        assert!(retries > 0, "p=0.9 over 15 collectives must retry at least once");
+    }
+
+    #[test]
+    fn single_gpu_collectives_never_fault() {
+        let plan = FaultPlan::healthy(1).with_collective_faults(1.0, 500.0, 3, 10.0);
+        let mut e = MultiGpuEngine::with_faults(DeviceSpec::v100(), 8, plan);
+        let r = e.run(&job(1, 1024)).unwrap();
+        assert_eq!(r.comm_us, [0.0; 3]);
+        assert_eq!(r.collective_retries, 0);
+        assert_eq!(r.dropped_collectives, [false; 3]);
     }
 
     #[test]

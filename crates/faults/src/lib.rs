@@ -1,0 +1,392 @@
+//! # dlperf-faults
+//!
+//! Deterministic fault injection for the simulated DLRM training stack.
+//!
+//! A performance model is only trustworthy if it degrades gracefully when
+//! the world misbehaves: a straggler GPU, a thermally throttled card, a
+//! flaky interconnect dropping collectives, a noisy neighbour stealing
+//! host cycles. This crate provides the vocabulary for those scenarios:
+//!
+//! * [`FaultPlan`] — a pure-data, serde-serializable description of which
+//!   faults are active and how severe they are. Plans can be stored next
+//!   to the experiments that used them and replayed bit-for-bit.
+//! * [`FaultInjector`] — turns a plan into concrete decisions. Every
+//!   decision is keyed by a *stateless hash* of `(plan seed, site)` — e.g.
+//!   `(seed, iteration, collective index, attempt)` — rather than by a
+//!   stateful RNG, so outcomes do not depend on call order. Two engines
+//!   evaluating the same plan always see the same faults, which is what
+//!   makes fault runs bitwise reproducible.
+//!
+//! The consumers are `dlperf-gpusim` (per-kernel slowdown profiles built
+//! by [`FaultInjector::slowdown_profile`]), `dlperf-trace` (host jitter),
+//! and `dlperf-distrib` (straggler ranks and the collective
+//! timeout/retry/backoff model via [`FaultInjector::collective_outcome`]).
+
+use serde::{Deserialize, Serialize};
+
+use dlperf_gpusim::{KernelFamily, SlowdownProfile, ThermalWindow};
+
+/// A persistently slow rank (e.g. a card with a failing fan or a bad
+/// PCIe link): all its kernels run `factor`× slower.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Straggler {
+    /// The affected rank.
+    pub rank: usize,
+    /// Slowdown multiplier (> 1 means slower).
+    pub factor: f64,
+}
+
+/// A complete, serializable fault scenario.
+///
+/// The default plan is healthy: no stragglers, no slowdowns, no drops, no
+/// jitter. Builder methods add faults; [`FaultPlan::chaos`] builds a
+/// scenario whose severity scales with a single intensity knob, which is
+/// what the chaos-resilience harness sweeps.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Seed for all stochastic fault decisions (dropped collectives).
+    pub seed: u64,
+    /// Persistently slow ranks.
+    pub stragglers: Vec<Straggler>,
+    /// Per-kernel-family slowdown multipliers applied on every rank.
+    pub kernel_slowdowns: Vec<(KernelFamily, f64)>,
+    /// Thermal-throttle windows applied on every rank.
+    pub thermal_windows: Vec<ThermalWindow>,
+    /// Uniform host-side jitter amplitude (µs) added to dispatch overheads.
+    pub host_jitter_us: f64,
+    /// Probability that one collective *attempt* times out and must be
+    /// retried (clamped to `[0, 1]` when evaluated).
+    pub collective_drop_prob: f64,
+    /// Cost of one timed-out collective attempt (µs).
+    pub collective_timeout_us: f64,
+    /// Retries after the first attempt before the collective is declared
+    /// dropped.
+    pub max_retries: u32,
+    /// Base of the exponential backoff added before retry `a`
+    /// (`backoff_base_us × 2^a` µs).
+    pub backoff_base_us: f64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self::healthy(0)
+    }
+}
+
+impl FaultPlan {
+    /// A plan with no faults at all.
+    pub fn healthy(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            stragglers: Vec::new(),
+            kernel_slowdowns: Vec::new(),
+            thermal_windows: Vec::new(),
+            host_jitter_us: 0.0,
+            collective_drop_prob: 0.0,
+            collective_timeout_us: 1_000.0,
+            max_retries: 3,
+            backoff_base_us: 50.0,
+        }
+    }
+
+    /// A canonical chaos scenario whose severity scales with `intensity`
+    /// in `[0, 1]`: at 0 it is exactly [`FaultPlan::healthy`]; at 1 rank 0
+    /// runs 2.5× slow, GEMMs run 1.8× slow everywhere, a throttle window
+    /// covers early execution, collectives drop 40% of attempts, and the
+    /// host jitters up to 20 µs per overhead sample.
+    pub fn chaos(seed: u64, intensity: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&intensity),
+            "chaos intensity must be in [0, 1], got {intensity}"
+        );
+        let mut plan = Self::healthy(seed);
+        if intensity == 0.0 {
+            return plan;
+        }
+        plan.stragglers.push(Straggler { rank: 0, factor: 1.0 + 1.5 * intensity });
+        plan.kernel_slowdowns.push((KernelFamily::Gemm, 1.0 + 0.8 * intensity));
+        plan.thermal_windows.push(ThermalWindow {
+            start_us: 0.0,
+            end_us: 5_000.0 * intensity,
+            factor: 1.0 + 0.5 * intensity,
+        });
+        plan.host_jitter_us = 20.0 * intensity;
+        plan.collective_drop_prob = 0.4 * intensity;
+        plan
+    }
+
+    /// Marks `rank` as a straggler (builder style).
+    pub fn with_straggler(mut self, rank: usize, factor: f64) -> Self {
+        assert!(factor > 0.0 && factor.is_finite(), "straggler factor must be positive and finite");
+        self.stragglers.push(Straggler { rank, factor });
+        self
+    }
+
+    /// Slows one kernel family on every rank (builder style).
+    pub fn with_kernel_slowdown(mut self, family: KernelFamily, factor: f64) -> Self {
+        assert!(factor > 0.0 && factor.is_finite(), "slowdown factor must be positive and finite");
+        self.kernel_slowdowns.push((family, factor));
+        self
+    }
+
+    /// Adds a thermal-throttle window on every rank (builder style).
+    pub fn with_thermal_window(mut self, window: ThermalWindow) -> Self {
+        self.thermal_windows.push(window);
+        self
+    }
+
+    /// Sets the host-jitter amplitude (builder style).
+    pub fn with_host_jitter(mut self, amplitude_us: f64) -> Self {
+        assert!(
+            amplitude_us >= 0.0 && amplitude_us.is_finite(),
+            "jitter amplitude must be non-negative and finite"
+        );
+        self.host_jitter_us = amplitude_us;
+        self
+    }
+
+    /// Configures the flaky-collective model (builder style).
+    pub fn with_collective_faults(
+        mut self,
+        drop_prob: f64,
+        timeout_us: f64,
+        max_retries: u32,
+        backoff_base_us: f64,
+    ) -> Self {
+        assert!((0.0..=1.0).contains(&drop_prob), "drop probability must be in [0, 1]");
+        assert!(
+            timeout_us >= 0.0 && backoff_base_us >= 0.0,
+            "timeout and backoff must be non-negative"
+        );
+        self.collective_drop_prob = drop_prob;
+        self.collective_timeout_us = timeout_us;
+        self.max_retries = max_retries;
+        self.backoff_base_us = backoff_base_us;
+        self
+    }
+
+    /// Whether the plan injects any fault at all.
+    pub fn is_healthy(&self) -> bool {
+        self.stragglers.is_empty()
+            && self.kernel_slowdowns.is_empty()
+            && self.thermal_windows.is_empty()
+            && self.host_jitter_us == 0.0
+            && self.collective_drop_prob == 0.0
+    }
+}
+
+/// What happened to one collective under the timeout/retry model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CollectiveOutcome {
+    /// Attempts made (1 = succeeded first try).
+    pub attempts: u32,
+    /// Retries after the first attempt (`attempts - 1`).
+    pub retries: u32,
+    /// Latency added by timeouts and exponential backoff (µs).
+    pub added_latency_us: f64,
+    /// All attempts timed out: the collective was abandoned after paying
+    /// the full retry penalty (the engine degrades instead of hanging).
+    pub dropped: bool,
+    /// Total time of the collective including penalties (µs).
+    pub total_us: f64,
+}
+
+/// Turns a [`FaultPlan`] into per-site decisions.
+///
+/// Stateless by construction: every stochastic decision hashes
+/// `(plan.seed, site words)`, so the same plan yields the same faults
+/// regardless of how many ranks run, in what order, or on which thread.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+}
+
+/// 64-bit finalizer (SplitMix64 / MurmurHash3 fmix64): a bijective
+/// avalanche so consecutive site indices decorrelate fully.
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 33)).wrapping_mul(0xff51_afd7_ed55_8ccd);
+    z = (z ^ (z >> 33)).wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    z ^ (z >> 33)
+}
+
+impl FaultInjector {
+    /// Creates an injector for `plan`.
+    pub fn new(plan: FaultPlan) -> Self {
+        FaultInjector { plan }
+    }
+
+    /// The underlying plan.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Deterministic uniform sample in `[0, 1)` keyed by the fault site.
+    fn unit(&self, site: &[u64]) -> f64 {
+        let mut h = self.plan.seed ^ 0x9e37_79b9_7f4a_7c15;
+        for &w in site {
+            h = mix(h ^ w.wrapping_add(0x9e37_79b9_7f4a_7c15));
+        }
+        // 53 high bits → the unit interval, like rand's float conversion.
+        (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Combined straggler multiplier for `rank` (1.0 when healthy).
+    pub fn straggler_factor(&self, rank: usize) -> f64 {
+        self.plan
+            .stragglers
+            .iter()
+            .filter(|s| s.rank == rank)
+            .map(|s| s.factor)
+            .product::<f64>()
+    }
+
+    /// The slowdown profile `rank`'s GPU should run under: straggler
+    /// factor as the global multiplier, plus the plan's per-family
+    /// multipliers and thermal windows.
+    pub fn slowdown_profile(&self, rank: usize) -> SlowdownProfile {
+        SlowdownProfile {
+            global: self.straggler_factor(rank),
+            per_family: self.plan.kernel_slowdowns.clone(),
+            thermal_windows: self.plan.thermal_windows.clone(),
+        }
+    }
+
+    /// Host-jitter amplitude to install on each rank's engine (µs).
+    pub fn host_jitter_us(&self) -> f64 {
+        self.plan.host_jitter_us
+    }
+
+    /// Evaluates the timeout/retry model for one collective.
+    ///
+    /// Each attempt independently times out with the plan's drop
+    /// probability (decided by the stateless site hash over
+    /// `(iteration, collective, attempt)`). A timed-out attempt costs
+    /// `collective_timeout_us` plus exponential backoff
+    /// `backoff_base_us × 2^attempt`. After `max_retries` retries the
+    /// collective is declared dropped: the penalty is kept, `dropped` is
+    /// set, and the engine continues — degradation, not a hang.
+    pub fn collective_outcome(
+        &self,
+        iteration: u64,
+        collective: usize,
+        base_us: f64,
+    ) -> CollectiveOutcome {
+        let p = self.plan.collective_drop_prob.clamp(0.0, 1.0);
+        let mut added = 0.0;
+        let mut attempts = 0u32;
+        let mut dropped = true;
+        while attempts <= self.plan.max_retries {
+            let fails = p > 0.0
+                && self.unit(&[0xC011, iteration, collective as u64, attempts as u64]) < p;
+            attempts += 1;
+            if !fails {
+                dropped = false;
+                break;
+            }
+            added += self.plan.collective_timeout_us
+                + self.plan.backoff_base_us * f64::from(1u32 << (attempts - 1).min(20));
+        }
+        CollectiveOutcome {
+            attempts,
+            retries: attempts - 1,
+            added_latency_us: added,
+            dropped,
+            total_us: base_us + added,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn healthy_plan_injects_nothing() {
+        let inj = FaultInjector::new(FaultPlan::healthy(42));
+        assert!(inj.plan().is_healthy());
+        assert_eq!(inj.straggler_factor(0), 1.0);
+        assert!(inj.slowdown_profile(3).is_identity());
+        let o = inj.collective_outcome(0, 0, 100.0);
+        assert_eq!(o.attempts, 1);
+        assert_eq!(o.retries, 0);
+        assert!(!o.dropped);
+        assert_eq!(o.total_us, 100.0);
+    }
+
+    #[test]
+    fn decisions_are_deterministic_and_seed_sensitive() {
+        let plan = FaultPlan::healthy(7).with_collective_faults(0.5, 500.0, 4, 25.0);
+        let a = FaultInjector::new(plan.clone());
+        let b = FaultInjector::new(plan.clone());
+        for it in 0..20 {
+            for c in 0..3 {
+                assert_eq!(a.collective_outcome(it, c, 10.0), b.collective_outcome(it, c, 10.0));
+            }
+        }
+        let other = FaultInjector::new(FaultPlan { seed: 8, ..plan });
+        let differs = (0..20).any(|it| {
+            a.collective_outcome(it, 0, 10.0) != other.collective_outcome(it, 0, 10.0)
+        });
+        assert!(differs, "different seeds should produce different fault patterns");
+    }
+
+    #[test]
+    fn drop_probability_one_always_drops() {
+        let inj =
+            FaultInjector::new(FaultPlan::healthy(1).with_collective_faults(1.0, 100.0, 2, 10.0));
+        let o = inj.collective_outcome(5, 1, 50.0);
+        assert!(o.dropped);
+        assert_eq!(o.attempts, 3); // 1 try + 2 retries
+        // 3 timeouts + backoff 10 + 20 + 40.
+        assert!((o.added_latency_us - (300.0 + 70.0)).abs() < 1e-9);
+        assert!(o.total_us.is_finite() && o.total_us > 0.0);
+    }
+
+    #[test]
+    fn higher_drop_prob_means_more_retries() {
+        let retries = |p: f64| -> u32 {
+            let inj = FaultInjector::new(
+                FaultPlan::healthy(3).with_collective_faults(p, 100.0, 5, 10.0),
+            );
+            (0..200).map(|it| inj.collective_outcome(it, 0, 1.0).retries).sum()
+        };
+        let (low, high) = (retries(0.1), retries(0.7));
+        assert!(high > 2 * low, "retries at p=0.7 ({high}) vs p=0.1 ({low})");
+    }
+
+    #[test]
+    fn straggler_applies_to_its_rank_only() {
+        let inj = FaultInjector::new(FaultPlan::healthy(0).with_straggler(2, 2.5));
+        assert_eq!(inj.straggler_factor(2), 2.5);
+        assert_eq!(inj.straggler_factor(0), 1.0);
+        assert_eq!(inj.slowdown_profile(2).global, 2.5);
+        assert!(inj.slowdown_profile(1).is_identity());
+    }
+
+    #[test]
+    fn chaos_scales_from_healthy() {
+        assert!(FaultPlan::chaos(9, 0.0).is_healthy());
+        let mild = FaultPlan::chaos(9, 0.2);
+        let wild = FaultPlan::chaos(9, 1.0);
+        assert!(!mild.is_healthy());
+        assert!(wild.collective_drop_prob > mild.collective_drop_prob);
+        assert!(wild.host_jitter_us > mild.host_jitter_us);
+    }
+
+    #[test]
+    fn plan_serde_round_trips() {
+        let plan = FaultPlan::chaos(1234, 0.8);
+        let json = serde_json::to_string(&plan).expect("plan serializes");
+        let back: FaultPlan = serde_json::from_str(&json).expect("plan deserializes");
+        assert_eq!(plan, back);
+        // Same plan after a round trip ⇒ same decisions.
+        let (a, b) = (FaultInjector::new(plan), FaultInjector::new(back));
+        assert_eq!(a.collective_outcome(3, 2, 7.0), b.collective_outcome(3, 2, 7.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "intensity must be in [0, 1]")]
+    fn chaos_rejects_out_of_range_intensity() {
+        FaultPlan::chaos(0, 1.5);
+    }
+}

@@ -37,12 +37,14 @@ pub mod gemm;
 pub mod kernel;
 pub mod memory;
 pub mod noise;
+pub mod slowdown;
 pub mod transpose;
 
 pub use collective::{CollectiveKind, CollectiveSpec};
 pub use device::DeviceSpec;
 pub use kernel::{KernelFamily, KernelSpec, MemcpyKind};
 pub use noise::NoiseModel;
+pub use slowdown::{SlowdownProfile, ThermalWindow};
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -57,6 +59,7 @@ use rand::SeedableRng;
 pub struct Gpu {
     spec: DeviceSpec,
     noise: NoiseModel,
+    slowdown: SlowdownProfile,
     rng: StdRng,
 }
 
@@ -72,6 +75,7 @@ impl Gpu {
         Gpu {
             spec,
             noise: NoiseModel::default(),
+            slowdown: SlowdownProfile::identity(),
             rng: StdRng::seed_from_u64(seed),
         }
     }
@@ -83,6 +87,7 @@ impl Gpu {
         Gpu {
             spec,
             noise: NoiseModel::disabled(),
+            slowdown: SlowdownProfile::identity(),
             rng: StdRng::seed_from_u64(0),
         }
     }
@@ -95,6 +100,17 @@ impl Gpu {
     /// Replaces the noise model.
     pub fn set_noise(&mut self, noise: NoiseModel) {
         self.noise = noise;
+    }
+
+    /// Installs a fault-induced slowdown profile; kernel times are scaled
+    /// by it (see [`Gpu::kernel_time_at`]).
+    pub fn set_slowdown(&mut self, slowdown: SlowdownProfile) {
+        self.slowdown = slowdown;
+    }
+
+    /// The active slowdown profile.
+    pub fn slowdown(&self) -> &SlowdownProfile {
+        &self.slowdown
     }
 
     /// Simulated execution time of `kernel` in microseconds, without noise.
@@ -110,7 +126,15 @@ impl Gpu {
     /// Applies the noise model on top of the analytic time, emulating the
     /// run-to-run variation a profiler observes on real hardware.
     pub fn kernel_time(&mut self, kernel: &KernelSpec) -> f64 {
-        let t = self.kernel_time_noiseless(kernel);
+        let t = self.kernel_time_noiseless(kernel) * self.slowdown.factor_at(kernel.family(), 0.0);
+        self.noise.perturb(t, &mut self.rng)
+    }
+
+    /// Like [`Gpu::kernel_time`], but evaluated at simulated time `t_us` so
+    /// the slowdown profile's thermal-throttle windows apply. With the
+    /// identity profile this is exactly `kernel_time` (same noise stream).
+    pub fn kernel_time_at(&mut self, kernel: &KernelSpec, t_us: f64) -> f64 {
+        let t = self.kernel_time_noiseless(kernel) * self.slowdown.factor_at(kernel.family(), t_us);
         self.noise.perturb(t, &mut self.rng)
     }
 
@@ -155,6 +179,31 @@ mod tests {
         let base = gpu.kernel_time_noiseless(&k);
         let med = gpu.benchmark(&k, 31);
         assert!((med - base).abs() / base < 0.1);
+    }
+
+    #[test]
+    fn slowdown_scales_kernel_time() {
+        let k = KernelSpec::gemm(512, 512, 512);
+        let mut healthy = Gpu::noiseless(DeviceSpec::v100());
+        let mut slow = Gpu::noiseless(DeviceSpec::v100());
+        slow.set_slowdown(SlowdownProfile::uniform(2.0));
+        let t = healthy.kernel_time_at(&k, 0.0);
+        assert!((slow.kernel_time_at(&k, 0.0) - 2.0 * t).abs() < 1e-9);
+    }
+
+    #[test]
+    fn thermal_window_applies_only_inside_span() {
+        let k = KernelSpec::gemm(256, 256, 256);
+        let mut gpu = Gpu::noiseless(DeviceSpec::v100());
+        let base = gpu.kernel_time_noiseless(&k);
+        gpu.set_slowdown(SlowdownProfile::identity().with_thermal_window(ThermalWindow {
+            start_us: 1000.0,
+            end_us: 2000.0,
+            factor: 1.5,
+        }));
+        assert!((gpu.kernel_time_at(&k, 500.0) - base).abs() < 1e-9);
+        assert!((gpu.kernel_time_at(&k, 1500.0) - 1.5 * base).abs() < 1e-9);
+        assert!((gpu.kernel_time_at(&k, 2500.0) - base).abs() < 1e-9);
     }
 
     #[test]

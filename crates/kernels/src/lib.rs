@@ -36,6 +36,6 @@ pub mod mlbased;
 pub mod persist;
 pub mod registry;
 
-pub use error::ErrorStats;
+pub use error::{ErrorStats, ErrorStatsError};
 pub use persist::RegistryBundle;
-pub use registry::{CalibrationEffort, KernelPerfModel, ModelRegistry};
+pub use registry::{CalibrationEffort, Confidence, KernelPerfModel, ModelRegistry};

@@ -11,13 +11,54 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use dlperf_gpusim::{DeviceSpec, KernelFamily, KernelSpec};
+use dlperf_gpusim::{DeviceSpec, KernelFamily, KernelSpec, MemcpyKind};
 use dlperf_nn::train::TrainConfig;
 
 use crate::heuristic::embedding::{EmbeddingModel, EmbeddingModelKind};
 use crate::heuristic::roofline::RooflineModel;
 use crate::microbench::{self, Microbenchmark};
 use crate::mlbased::MlKernelModel;
+
+/// How a [`ModelRegistry`] prediction was produced.
+///
+/// The registry's graceful-degradation contract: a lookup that finds no
+/// model for the kernel's family does not abort the caller — it falls back
+/// to an uncalibrated datasheet roofline and *tags* the number as
+/// [`Confidence::Degraded`], so downstream reports can distinguish a
+/// trusted prediction from a best-effort estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Confidence {
+    /// A model calibrated for the kernel's family produced the number.
+    Calibrated,
+    /// No model was registered for the family; a datasheet roofline
+    /// heuristic filled in (expect substantially larger error).
+    Degraded,
+}
+
+impl std::fmt::Display for Confidence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Confidence::Calibrated => "calibrated",
+            Confidence::Degraded => "degraded",
+        })
+    }
+}
+
+/// Uncalibrated datasheet roofline: `max(FLOP/peak, bytes/BW) + launch`.
+/// Unlike [`RooflineModel`], which is calibrated for (and restricted to)
+/// memory-movement kernels, this handles *every* kernel family — it is the
+/// universal fallback behind [`ModelRegistry::predict_with_confidence`].
+fn datasheet_roofline(device: &DeviceSpec, kernel: &KernelSpec) -> f64 {
+    let bw = match kernel {
+        KernelSpec::Memcpy { kind: MemcpyKind::HostToDevice | MemcpyKind::DeviceToHost, .. } => {
+            device.pcie_bytes_per_us()
+        }
+        _ => device.dram_bw_gbs * 1e3,
+    };
+    let t_compute = kernel.flops() / device.flop_per_us();
+    let t_mem = kernel.bytes() / bw;
+    t_compute.max(t_mem) + device.kernel_start_us
+}
 
 /// A kernel performance model: predicts the execution time of one family.
 pub trait KernelPerfModel: Send + Sync {
@@ -135,6 +176,19 @@ impl ModelRegistry {
             .get(&kernel.family())
             .unwrap_or_else(|| panic!("no model registered for family {}", kernel.family()))
             .predict(kernel)
+    }
+
+    /// Predicted execution time plus the confidence of the prediction.
+    ///
+    /// Unlike [`ModelRegistry::predict`], a missing family model does not
+    /// panic: the datasheet roofline fills in and the result is tagged
+    /// [`Confidence::Degraded`]. Use this in resilient analysis paths
+    /// where one uncalibrated kernel must not abort a whole workload.
+    pub fn predict_with_confidence(&self, kernel: &KernelSpec) -> (f64, Confidence) {
+        match self.models.get(&kernel.family()) {
+            Some(model) => (model.predict(kernel), Confidence::Calibrated),
+            None => (datasheet_roofline(&self.device, kernel), Confidence::Degraded),
+        }
     }
 
     /// Runs the full analysis track against a device: microbenchmark sweeps,
@@ -256,6 +310,31 @@ mod tests {
     fn missing_family_panics() {
         let reg = ModelRegistry::empty(DeviceSpec::v100());
         reg.predict(&KernelSpec::gemm(8, 8, 8));
+    }
+
+    #[test]
+    fn missing_family_degrades_instead_of_panicking() {
+        let reg = ModelRegistry::empty(DeviceSpec::v100());
+        for k in [
+            KernelSpec::gemm(512, 512, 512),
+            KernelSpec::memcpy_h2d(1 << 20),
+            KernelSpec::embedding_forward(256, 100_000, 4, 10, 32),
+            KernelSpec::Transpose { batch: 8, rows: 128, cols: 128 },
+        ] {
+            let (t, conf) = reg.predict_with_confidence(&k);
+            assert_eq!(conf, Confidence::Degraded);
+            assert!(t.is_finite() && t > 0.0, "degraded estimate for {k:?}: {t}");
+        }
+    }
+
+    #[test]
+    fn calibrated_family_matches_predict() {
+        let dev = DeviceSpec::v100();
+        let reg = ModelRegistry::calibrate(&dev, CalibrationEffort::Quick, 12);
+        let k = KernelSpec::gemm(1024, 512, 256);
+        let (t, conf) = reg.predict_with_confidence(&k);
+        assert_eq!(conf, Confidence::Calibrated);
+        assert_eq!(t, reg.predict(&k));
     }
 
     #[test]

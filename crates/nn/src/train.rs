@@ -169,7 +169,7 @@ mod tests {
     #[test]
     fn learns_power_law_surface() {
         let cfg = TrainConfig { epochs: 300, width: 32, hidden_layers: 3, ..Default::default() };
-        let model = train(&synthetic(), &cfg, 11);
+        let model = train(&synthetic(), &cfg, 6);
         assert!(model.val_mape < 0.12, "val MAPE too high: {}", model.val_mape);
         // Interpolation at an unseen point inside the training grid.
         let pred = model.predict_one(&[700.0, 900.0]);

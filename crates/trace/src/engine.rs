@@ -14,7 +14,7 @@ use std::collections::HashMap;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use dlperf_gpusim::{DeviceSpec, Gpu};
+use dlperf_gpusim::{DeviceSpec, Gpu, SlowdownProfile};
 use dlperf_graph::lower::{self, LowerError};
 use dlperf_graph::{Graph, TensorId};
 
@@ -29,6 +29,52 @@ pub const PROFILER_CPU_ACTUAL_US: f64 = 2.2;
 /// Actual profiler overhead injected per GPU (runtime) event (µs); the
 /// analysis subtracts PyTorch's documented 4 µs.
 pub const PROFILER_GPU_ACTUAL_US: f64 = 4.3;
+
+/// Errors raised by the execution engine.
+///
+/// Wrapping [`LowerError`] in an engine-level type gives callers one typed
+/// failure channel per workload: a malformed graph (or a fault scenario
+/// that drives a time non-finite) is reported instead of aborting the
+/// process, so multi-workload analyses can skip the offender and continue.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// The graph failed to lower to kernels (inconsistent tensor shapes).
+    Lower(LowerError),
+    /// A simulated time became non-finite or negative — a corrupt kernel
+    /// spec or a degenerate fault configuration.
+    NonFiniteTime {
+        /// Name of the op whose kernel produced the bad time.
+        op: String,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Lower(e) => write!(f, "{e}"),
+            EngineError::NonFiniteTime { op, value } => {
+                write!(f, "op `{op}` produced a non-finite kernel time ({value})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Lower(e) => Some(e),
+            EngineError::NonFiniteTime { .. } => None,
+        }
+    }
+}
+
+impl From<LowerError> for EngineError {
+    fn from(e: LowerError) -> Self {
+        EngineError::Lower(e)
+    }
+}
 
 /// Result of executing one training iteration.
 #[derive(Debug, Clone)]
@@ -93,6 +139,9 @@ pub struct ExecutionEngine {
     overheads: OverheadProfile,
     rng: StdRng,
     profiling: bool,
+    /// Extra uniform host-side delay amplitude per overhead sample (µs);
+    /// models a noisy neighbour stealing CPU from the dispatch thread.
+    host_jitter_us: f64,
 }
 
 impl ExecutionEngine {
@@ -116,12 +165,30 @@ impl ExecutionEngine {
             overheads,
             rng: StdRng::seed_from_u64(seed),
             profiling: true,
+            host_jitter_us: 0.0,
         }
     }
 
     /// Enables or disables profiler-overhead injection.
     pub fn set_profiling(&mut self, profiling: bool) {
         self.profiling = profiling;
+    }
+
+    /// Installs a fault-induced slowdown profile on the simulated GPU.
+    /// Kernels are priced at their scheduled start time, so the profile's
+    /// thermal windows line up with the engine's simulated clock.
+    pub fn set_slowdown(&mut self, slowdown: SlowdownProfile) {
+        self.gpu.set_slowdown(slowdown);
+    }
+
+    /// Adds uniform host-side jitter (0..`amplitude_us`, µs) to every
+    /// sampled overhead — fault injection for the dispatch thread.
+    pub fn set_host_jitter(&mut self, amplitude_us: f64) {
+        assert!(
+            amplitude_us >= 0.0 && amplitude_us.is_finite(),
+            "jitter amplitude must be non-negative and finite"
+        );
+        self.host_jitter_us = amplitude_us;
     }
 
     /// The overhead profile in use.
@@ -135,15 +202,22 @@ impl ExecutionEngine {
     }
 
     fn sample(&mut self, op_key: &str, ty: OverheadType) -> f64 {
-        self.overheads.sample(op_key, ty, &mut self.rng)
+        let base = self.overheads.sample(op_key, ty, &mut self.rng);
+        if self.host_jitter_us > 0.0 {
+            use rand::Rng;
+            base + self.rng.gen_range(0.0..self.host_jitter_us)
+        } else {
+            base
+        }
     }
 
     /// Executes one training iteration of `graph`, producing its trace.
     ///
     /// # Errors
-    /// Returns a [`LowerError`] if an op's tensor shapes are inconsistent
-    /// with its kind.
-    pub fn run(&mut self, graph: &Graph) -> Result<RunResult, LowerError> {
+    /// Returns [`EngineError::Lower`] if an op's tensor shapes are
+    /// inconsistent with its kind, [`EngineError::NonFiniteTime`] if a
+    /// kernel's simulated duration degenerates.
+    pub fn run(&mut self, graph: &Graph) -> Result<RunResult, EngineError> {
         let prof_cpu = if self.profiling { PROFILER_CPU_ACTUAL_US } else { 0.0 };
         let prof_gpu = if self.profiling { PROFILER_GPU_ACTUAL_US } else { 0.0 };
 
@@ -175,9 +249,17 @@ impl ExecutionEngine {
                 for (i, k) in kernels.into_iter().enumerate() {
                     let t4 = self.sample(key, OverheadType::T4) + prof_gpu;
                     let launch_ts = cpu;
-                    let dur = self.gpu.kernel_time(&k);
                     let free = stream_free.entry(node.stream).or_insert(0.0);
                     let start = (*free).max(launch_ts + t4 / 2.0).max(dep_ready);
+                    // Priced at the scheduled start so time-windowed fault
+                    // slowdowns (thermal throttling) apply correctly.
+                    let dur = self.gpu.kernel_time_at(&k, start);
+                    if !dur.is_finite() || dur < 0.0 {
+                        return Err(EngineError::NonFiniteTime {
+                            op: node.name.clone(),
+                            value: dur,
+                        });
+                    }
                     *free = start + dur;
                     last_kernel_end = Some(start + dur);
                     correlation += 1;
@@ -244,8 +326,8 @@ impl ExecutionEngine {
     /// Executes `iters` iterations (fresh noise each), returning all runs.
     ///
     /// # Errors
-    /// Propagates lowering errors from [`ExecutionEngine::run`].
-    pub fn run_iterations(&mut self, graph: &Graph, iters: usize) -> Result<Vec<RunResult>, LowerError> {
+    /// Propagates [`EngineError`]s from [`ExecutionEngine::run`].
+    pub fn run_iterations(&mut self, graph: &Graph, iters: usize) -> Result<Vec<RunResult>, EngineError> {
         (0..iters).map(|_| self.run(graph)).collect()
     }
 
@@ -253,8 +335,8 @@ impl ExecutionEngine {
     /// "actual measured time" the paper compares predictions against.
     ///
     /// # Errors
-    /// Propagates lowering errors.
-    pub fn measure_e2e(&mut self, graph: &Graph, iters: usize) -> Result<f64, LowerError> {
+    /// Propagates [`EngineError`]s.
+    pub fn measure_e2e(&mut self, graph: &Graph, iters: usize) -> Result<f64, EngineError> {
         assert!(iters > 0, "need at least one iteration");
         let runs = self.run_iterations(graph, iters)?;
         Ok(runs.iter().map(|r| r.e2e_us).sum::<f64>() / runs.len() as f64)
@@ -334,6 +416,39 @@ mod tests {
         // ... but within a plausible band.
         let m = crate::stats::mean(&times);
         assert!(times.iter().all(|t| (t - m).abs() / m < 0.2));
+    }
+
+    #[test]
+    fn slowdown_profile_stretches_e2e() {
+        let g = small_dlrm();
+        let healthy = ExecutionEngine::new(DeviceSpec::v100(), 8).run(&g).unwrap();
+        let mut e = ExecutionEngine::new(DeviceSpec::v100(), 8);
+        e.set_slowdown(SlowdownProfile::uniform(3.0));
+        let slow = e.run(&g).unwrap();
+        // DLRM is host-bound, so e2e barely moves — but device *active*
+        // time must stretch by roughly the slowdown factor.
+        assert!(
+            slow.active_us() > 2.0 * healthy.active_us(),
+            "slowdown had no effect: {} vs {}",
+            slow.active_us(),
+            healthy.active_us()
+        );
+        assert!(slow.e2e_us >= healthy.e2e_us * 0.99, "slowdown should never speed things up");
+    }
+
+    #[test]
+    fn host_jitter_inflates_cpu_time() {
+        let g = small_dlrm();
+        let base = ExecutionEngine::new(DeviceSpec::v100(), 9).run(&g).unwrap();
+        let mut e = ExecutionEngine::new(DeviceSpec::v100(), 9);
+        e.set_host_jitter(25.0);
+        let jittered = e.run(&g).unwrap();
+        assert!(
+            jittered.cpu_us > base.cpu_us,
+            "jitter had no effect: {} vs {}",
+            jittered.cpu_us,
+            base.cpu_us
+        );
     }
 
     #[test]

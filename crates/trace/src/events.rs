@@ -41,6 +41,43 @@ impl TraceEvent {
     }
 }
 
+/// Why a serialized trace artifact (trace file or overhead database) could
+/// not be loaded. Trace files are *untrusted input* — they may come from
+/// disk, other tools, or other machines — so loading validates content
+/// instead of letting NaNs or negative durations flow into the engine.
+#[derive(Debug)]
+pub enum TraceLoadError {
+    /// The JSON itself failed to parse.
+    Parse(serde_json::Error),
+    /// The JSON parsed, but carries values the analysis cannot safely use
+    /// (non-finite timestamps, negative durations, …).
+    Invalid(String),
+}
+
+impl std::fmt::Display for TraceLoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceLoadError::Parse(e) => write!(f, "trace artifact is not valid JSON: {e}"),
+            TraceLoadError::Invalid(why) => write!(f, "trace artifact rejected: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceLoadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceLoadError::Parse(e) => Some(e),
+            TraceLoadError::Invalid(_) => None,
+        }
+    }
+}
+
+impl From<serde_json::Error> for TraceLoadError {
+    fn from(e: serde_json::Error) -> Self {
+        TraceLoadError::Parse(e)
+    }
+}
+
 /// A trace of one training iteration.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Trace {
@@ -67,9 +104,42 @@ impl Trace {
         serde_json::to_string(self).expect("trace serialization cannot fail")
     }
 
-    /// Deserializes from JSON.
-    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
-        serde_json::from_str(s)
+    /// Deserializes from JSON, rejecting traces whose timing content would
+    /// poison downstream analysis.
+    ///
+    /// # Errors
+    /// [`TraceLoadError::Parse`] for malformed JSON; [`TraceLoadError::Invalid`]
+    /// for parsed traces with non-finite timestamps, negative durations, or a
+    /// non-finite span.
+    pub fn from_json(s: &str) -> Result<Self, TraceLoadError> {
+        let t: Trace = serde_json::from_str(s)?;
+        t.validate()?;
+        Ok(t)
+    }
+
+    /// Checks that every timing field is usable by the analysis machinery.
+    pub fn validate(&self) -> Result<(), TraceLoadError> {
+        if !self.span_us.is_finite() || self.span_us < 0.0 {
+            return Err(TraceLoadError::Invalid(format!(
+                "trace span must be finite and non-negative, got {}",
+                self.span_us
+            )));
+        }
+        for (i, ev) in self.events.iter().enumerate() {
+            if !ev.ts_us.is_finite() {
+                return Err(TraceLoadError::Invalid(format!(
+                    "event {i} (`{}`) has non-finite timestamp {}",
+                    ev.name, ev.ts_us
+                )));
+            }
+            if !ev.dur_us.is_finite() || ev.dur_us < 0.0 {
+                return Err(TraceLoadError::Invalid(format!(
+                    "event {i} (`{}`) has invalid duration {}",
+                    ev.name, ev.dur_us
+                )));
+            }
+        }
+        Ok(())
     }
 
     /// Exports the trace in the Chrome trace-event format, loadable in
@@ -150,6 +220,30 @@ mod tests {
         let back = Trace::from_json(&t.to_json()).unwrap();
         assert_eq!(back.events.len(), 1);
         assert_eq!(back.events[0].end_us(), 9.5);
+    }
+
+    #[test]
+    fn malformed_json_is_a_parse_error_not_a_panic() {
+        match Trace::from_json("{ not json") {
+            Err(TraceLoadError::Parse(_)) => {}
+            other => panic!("expected Parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn poisoned_timing_content_is_rejected() {
+        let t = Trace {
+            workload: "w".into(),
+            device: "d".into(),
+            events: vec![ev("bad", EventCat::Kernel, 1.0, -3.0)],
+            span_us: 10.0,
+        };
+        match Trace::from_json(&t.to_json()) {
+            Err(TraceLoadError::Invalid(why)) => {
+                assert!(why.contains("bad"), "error should name the event: {why}")
+            }
+            other => panic!("expected Invalid error, got {other:?}"),
+        }
     }
 
     #[test]

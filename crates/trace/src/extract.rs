@@ -18,7 +18,7 @@ use std::collections::HashMap;
 use serde::{Deserialize, Serialize};
 
 use crate::event_tree::EventTree;
-use crate::events::Trace;
+use crate::events::{Trace, TraceLoadError};
 use crate::stats::{iqr_filter, mean, std_dev};
 
 /// Profiler overhead subtracted per CPU event (the paper's empirical 2 µs).
@@ -225,9 +225,34 @@ impl OverheadStats {
         serde_json::to_string_pretty(self).expect("overhead stats serialize")
     }
 
-    /// Deserializes the database from JSON.
-    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
-        serde_json::from_str(s)
+    /// Deserializes the database from JSON, rejecting databases whose stats
+    /// would poison predictions (overhead files are untrusted input: they
+    /// travel between machines in the paper's workflow).
+    ///
+    /// # Errors
+    /// [`TraceLoadError::Parse`] for malformed JSON; [`TraceLoadError::Invalid`]
+    /// if any cell carries a non-finite or negative mean or std.
+    pub fn from_json(s: &str) -> Result<Self, TraceLoadError> {
+        let stats: OverheadStats = serde_json::from_str(s)?;
+        let check = |where_: &str, s: &OverheadStat| -> Result<(), TraceLoadError> {
+            if !s.mean_us.is_finite() || s.mean_us < 0.0 || !s.std_us.is_finite() || s.std_us < 0.0
+            {
+                return Err(TraceLoadError::Invalid(format!(
+                    "overhead cell {where_} has invalid stats (mean {} µs, std {} µs)",
+                    s.mean_us, s.std_us
+                )));
+            }
+            Ok(())
+        };
+        for (key, m) in &stats.per_op {
+            for (ty, s) in m {
+                check(&format!("({key}, {ty})"), s)?;
+            }
+        }
+        for (ty, s) in &stats.per_type {
+            check(&format!("(*, {ty})"), s)?;
+        }
+        Ok(stats)
     }
 }
 
@@ -316,6 +341,26 @@ mod tests {
             back.mean_us("aten::addmm", OverheadType::T2),
             stats.mean_us("aten::addmm", OverheadType::T2)
         );
+    }
+
+    #[test]
+    fn corrupt_overhead_db_is_rejected_with_typed_error() {
+        match OverheadStats::from_json("not a database") {
+            Err(TraceLoadError::Parse(_)) => {}
+            other => panic!("expected Parse error, got {other:?}"),
+        }
+
+        let mut poisoned = OverheadStats::default();
+        poisoned.per_type.insert(
+            OverheadType::T1,
+            OverheadStat { mean_us: -4.0, std_us: 1.0, count: 3 },
+        );
+        match OverheadStats::from_json(&poisoned.to_json()) {
+            Err(TraceLoadError::Invalid(why)) => {
+                assert!(why.contains("T1"), "error should name the cell: {why}")
+            }
+            other => panic!("expected Invalid error, got {other:?}"),
+        }
     }
 
     #[test]

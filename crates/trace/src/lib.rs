@@ -45,7 +45,7 @@ pub mod overheads;
 pub mod stats;
 
 pub use breakdown::DeviceBreakdown;
-pub use engine::{ExecutionEngine, RunResult};
-pub use events::{EventCat, Trace, TraceEvent};
+pub use engine::{EngineError, ExecutionEngine, RunResult};
+pub use events::{EventCat, Trace, TraceEvent, TraceLoadError};
 pub use extract::{OverheadStats, OverheadType};
 pub use overheads::OverheadProfile;

@@ -1,0 +1,104 @@
+//! Chaos sweep: how gracefully does the simulated cluster — and the
+//! prediction stack above it — degrade as fault intensity rises from a
+//! healthy fleet to full chaos (stragglers, thermal throttling, host
+//! jitter, and flaky collectives all at once)?
+//!
+//! Run with `cargo run --release --example chaos_resilience`.
+
+use dlrm_perf_model::core::pipeline::Pipeline;
+use dlrm_perf_model::distrib::{DistributedDlrm, MultiGpuEngine, ShardingPlan};
+use dlrm_perf_model::faults::FaultPlan;
+use dlrm_perf_model::gpusim::DeviceSpec;
+use dlrm_perf_model::graph::{Graph, OpKind, TensorMeta};
+use dlrm_perf_model::kernels::{CalibrationEffort, ModelRegistry};
+use dlrm_perf_model::models::DlrmConfig;
+
+fn main() {
+    let device = DeviceSpec::v100();
+    let cfg = DlrmConfig::default_config(2048);
+    let plan = ShardingPlan::round_robin(cfg.rows_per_table.len(), 4);
+    let job = DistributedDlrm::new(cfg, plan).expect("valid 4-GPU job");
+
+    // 1. Fault-intensity sweep over the lockstep cluster engine.
+    println!("== chaos sweep: hybrid-parallel DLRM @2048 on 4x V100 ==");
+    println!(
+        "{:>9} {:>12} {:>10} {:>8} {:>10} {:>7}",
+        "intensity", "e2e (us)", "comm (us)", "retries", "+retry us", "drops"
+    );
+    let mut healthy_e2e = 0.0;
+    for intensity in [0.0, 0.25, 0.5, 0.75, 1.0] {
+        let mut engine =
+            MultiGpuEngine::with_faults(device.clone(), 42, FaultPlan::chaos(1337, intensity));
+        // Average a few lockstep iterations so retry noise settles.
+        let iters = 4;
+        let mut e2e = 0.0;
+        let mut comm = 0.0;
+        let mut retries = 0;
+        let mut added = 0.0;
+        let mut drops = 0;
+        let mut notes = Vec::new();
+        for _ in 0..iters {
+            let r = engine.run(&job).expect("faulted run still succeeds");
+            e2e += r.e2e_us / iters as f64;
+            comm += r.comm_us.iter().sum::<f64>() / iters as f64;
+            retries += r.collective_retries;
+            added += r.retry_added_us;
+            drops += r.dropped_collectives.iter().filter(|d| **d).count();
+            if notes.is_empty() {
+                notes = r.degradation;
+            }
+        }
+        if intensity == 0.0 {
+            healthy_e2e = e2e;
+        }
+        println!(
+            "{:>9.2} {:>12.0} {:>10.0} {:>8} {:>10.0} {:>7}",
+            intensity, e2e, comm, retries, added, drops
+        );
+        for note in notes.iter().take(3) {
+            println!("          | {note}");
+        }
+    }
+    let mut engine = MultiGpuEngine::with_faults(device.clone(), 42, FaultPlan::chaos(1337, 1.0));
+    let wild = engine.run(&job).expect("full-chaos run");
+    println!("full-chaos / healthy e2e ratio: {:.2}x\n", wild.e2e_us / healthy_e2e);
+
+    // 2. Missing kernel models: predictions carry on, tagged Degraded.
+    println!("== graceful degradation: empty model registry ==");
+    let workloads = vec![DlrmConfig::default_config(512).build()];
+    let (pipe, _) = Pipeline::analyze_resilient_with_registry(
+        &device,
+        &workloads,
+        ModelRegistry::empty(device.clone()),
+        10,
+        7,
+    )
+    .expect("analysis succeeds without any calibrated kernel model");
+    let p = pipe.predict(&workloads[0]).expect("prediction succeeds");
+    println!(
+        "{}: {:.0} us/batch with {} kernels priced by datasheet roofline (fully calibrated: {})\n",
+        workloads[0].name,
+        p.e2e_us,
+        p.degraded_kernels,
+        p.is_fully_calibrated()
+    );
+
+    // 3. One malformed workload among N: skipped and named, not fatal.
+    println!("== resilient pipeline: malformed workload among healthy ones ==");
+    let mut poisoned = Graph::new("poisoned-graph");
+    let x = poisoned.add_tensor(TensorMeta::activation(&[32, 32]));
+    let y = poisoned.add_tensor(TensorMeta::activation(&[32, 32]));
+    poisoned.add_op(OpKind::AddMm, vec![x], vec![y]); // AddMm needs 3 inputs
+    let mixed = vec![
+        DlrmConfig::default_config(256).build(),
+        poisoned,
+        DlrmConfig::ddp_config(256).build(),
+    ];
+    let (pipe, report) =
+        Pipeline::analyze_resilient(&device, &mixed, CalibrationEffort::Quick, 10, 7)
+            .expect("healthy workloads survive the poisoned one");
+    println!("{}", report.summary());
+    for name in pipe.workloads() {
+        println!("  analyzed: {name}");
+    }
+}

@@ -55,6 +55,7 @@ fn main() {
     let model = MlKernelModel::train(&train_samples, &cfg, 7);
     let preds: Vec<f64> = eval_samples.iter().map(|s| model.predict(&s.kernel)).collect();
     let actual: Vec<f64> = eval_samples.iter().map(|s| s.time_us).collect();
-    println!("\nheld-out evaluation: {}", ErrorStats::from_pairs(&preds, &actual));
+    let stats = ErrorStats::try_from_pairs(&preds, &actual).expect("held-out samples are well-formed");
+    println!("\nheld-out evaluation: {stats}");
     println!("feature vector of a 1024x1024x1024 GEMM: {:?}", features(&eval_samples[0].kernel));
 }

@@ -23,6 +23,7 @@
 //! | [`kernels`] | kernel performance models: heuristic embedding + roofline, ML-based GEMM/transpose/tril/conv |
 //! | [`core`] | Algorithm 1 E2E predictor, the Fig. 3 pipeline, baselines, co-design tools |
 //! | [`distrib`] | multi-GPU hybrid-parallel DLRM: collectives, lockstep cluster engine, distributed predictor |
+//! | [`faults`] | deterministic fault injection (stragglers, thermal throttling, flaky collectives) and the graceful-degradation contracts |
 //!
 //! ## Quickstart
 //!
@@ -44,6 +45,7 @@
 
 pub use dlperf_core as core;
 pub use dlperf_distrib as distrib;
+pub use dlperf_faults as faults;
 pub use dlperf_gpusim as gpusim;
 pub use dlperf_graph as graph;
 pub use dlperf_kernels as kernels;

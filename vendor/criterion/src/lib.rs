@@ -1,0 +1,104 @@
+//! Offline stand-in for `criterion`: a minimal wall-clock benchmark
+//! harness with the same surface (`Criterion::bench_function`,
+//! `criterion_group!`/`criterion_main!`, `black_box`). No statistical
+//! analysis or HTML reports — each benchmark prints its mean time over
+//! `sample_size` timed samples.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark and prints its mean sample time.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+        // Warm-up and per-sample iteration calibration: aim for samples of
+        // at least ~1 ms so Instant resolution doesn't dominate.
+        f(&mut b);
+        let mut per_iter = b.elapsed.as_secs_f64() / b.iters as f64;
+        if per_iter <= 0.0 {
+            per_iter = 1e-9;
+        }
+        let iters = ((1e-3 / per_iter).ceil() as u64).clamp(1, 1_000_000);
+
+        let mut total = Duration::ZERO;
+        let mut total_iters = 0u64;
+        for _ in 0..self.sample_size {
+            let mut b = Bencher { iters, elapsed: Duration::ZERO };
+            f(&mut b);
+            total += b.elapsed;
+            total_iters += b.iters;
+        }
+        let mean_ns = total.as_secs_f64() * 1e9 / total_iters.max(1) as f64;
+        println!("{id:<40} {mean_ns:>12.1} ns/iter ({total_iters} iters)");
+        self
+    }
+}
+
+/// Passed to the benchmark closure; `iter` times the hot loop.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` calls of `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        #[allow(dead_code)]
+        pub fn $name() {
+            let mut c = $config;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        #[allow(dead_code)]
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,160 @@
+//! Unbounded MPMC channel over `Mutex<VecDeque>` + `Condvar`.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex};
+
+struct Shared<T> {
+    queue: Mutex<State<T>>,
+    ready: Condvar,
+}
+
+struct State<T> {
+    items: VecDeque<T>,
+    senders: usize,
+    receivers: usize,
+}
+
+/// Sending half; cloneable for fan-in.
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Receiving half; cloneable for fan-out (each item goes to one receiver).
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// The channel is closed: every receiver is gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("sending on a closed channel")
+    }
+}
+
+impl<T: fmt::Debug> std::error::Error for SendError<T> {}
+
+/// The channel is empty and every sender is gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("receiving on an empty, closed channel")
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// Creates an unbounded MPMC channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        queue: Mutex::new(State { items: VecDeque::new(), senders: 1, receivers: 1 }),
+        ready: Condvar::new(),
+    });
+    (Sender { shared: shared.clone() }, Receiver { shared })
+}
+
+impl<T> Sender<T> {
+    /// Enqueues an item; fails only if all receivers have been dropped.
+    pub fn send(&self, item: T) -> Result<(), SendError<T>> {
+        let mut state = self.shared.queue.lock().expect("channel lock poisoned");
+        if state.receivers == 0 {
+            return Err(SendError(item));
+        }
+        state.items.push_back(item);
+        drop(state);
+        self.shared.ready.notify_one();
+        Ok(())
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.shared.queue.lock().expect("channel lock poisoned").senders += 1;
+        Sender { shared: self.shared.clone() }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut state = self.shared.queue.lock().expect("channel lock poisoned");
+        state.senders -= 1;
+        if state.senders == 0 {
+            drop(state);
+            // Wake blocked receivers so they observe disconnection.
+            self.shared.ready.notify_all();
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Blocks for the next item; `Err` once the channel is empty and all
+    /// senders are gone.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut state = self.shared.queue.lock().expect("channel lock poisoned");
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                return Ok(item);
+            }
+            if state.senders == 0 {
+                return Err(RecvError);
+            }
+            state = self.shared.ready.wait(state).expect("channel lock poisoned");
+        }
+    }
+
+    /// Non-blocking receive of whatever is currently queued.
+    pub fn try_recv(&self) -> Result<T, RecvError> {
+        self.shared
+            .queue
+            .lock()
+            .expect("channel lock poisoned")
+            .items
+            .pop_front()
+            .ok_or(RecvError)
+    }
+
+    /// Blocking iterator that ends when the channel closes.
+    pub fn iter(&self) -> Iter<'_, T> {
+        Iter { rx: self }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.shared.queue.lock().expect("channel lock poisoned").receivers += 1;
+        Receiver { shared: self.shared.clone() }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        self.shared.queue.lock().expect("channel lock poisoned").receivers -= 1;
+    }
+}
+
+/// Blocking iterator over received items.
+pub struct Iter<'a, T> {
+    rx: &'a Receiver<T>,
+}
+
+impl<T> Iterator for Iter<'_, T> {
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        self.rx.recv().ok()
+    }
+}
+
+impl<'a, T> IntoIterator for &'a Receiver<T> {
+    type Item = T;
+    type IntoIter = Iter<'a, T>;
+
+    fn into_iter(self) -> Iter<'a, T> {
+        self.iter()
+    }
+}

@@ -1,0 +1,79 @@
+//! Offline stand-in for the `crossbeam` facade crate, built on std:
+//! `channel::unbounded` MPMC channels (Mutex + Condvar) and [`scope`]
+//! (std scoped threads plus `catch_unwind`, so worker panics surface as
+//! an `Err` like crossbeam's).
+
+pub mod channel;
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// A scope handle passed to [`scope`]'s closure; `spawn` launches workers
+/// that must finish before `scope` returns.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped worker. The closure receives a scope handle (by
+    /// value here, `()`-like in spirit: crossbeam passes `&Scope` for
+    /// nested spawns, which this workspace never uses — the argument
+    /// exists so `|_| { .. }` closures keep working).
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        self.inner.spawn(move || f(&Scope { inner }))
+    }
+}
+
+/// Runs `f` with a scope in which borrowed-data threads can be spawned;
+/// returns `Err` with the panic payload if any worker (or `f`) panicked.
+pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    catch_unwind(AssertUnwindSafe(|| {
+        std::thread::scope(|s| f(&Scope { inner: s }))
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scoped_workers_drain_a_channel() {
+        let (tx, rx) = channel::unbounded::<u32>();
+        let (out_tx, out_rx) = channel::unbounded::<u32>();
+        for i in 0..100 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        scope(|s| {
+            for _ in 0..4 {
+                let rx = rx.clone();
+                let out_tx = out_tx.clone();
+                s.spawn(move |_| {
+                    while let Ok(x) = rx.recv() {
+                        out_tx.send(x * 2).unwrap();
+                    }
+                });
+            }
+            drop(out_tx);
+        })
+        .unwrap();
+        let mut got: Vec<u32> = out_rx.iter().collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn worker_panic_is_an_err() {
+        let r = scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,148 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the property-testing subset this workspace uses: the
+//! [`strategy::Strategy`] trait with `prop_map`/`prop_flat_map`/`boxed`,
+//! ranges and tuples as strategies, `Just`, `prop_oneof!`,
+//! `collection::vec`, and the [`proptest!`]/[`prop_assert!`] macros.
+//!
+//! Two deliberate simplifications versus the real crate: cases are drawn
+//! from a fixed-seed deterministic RNG (fully reproducible runs), and
+//! failing inputs are *not* shrunk — the panic reports the case number
+//! and assertion message only.
+
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+/// Defines property tests: each `fn name(arg in strategy, ..) { body }`
+/// becomes a `#[test]` running `body` over `cases` sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with $config; $($rest)*);
+    };
+    (@with $config:expr; $($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config = $config;
+                let mut __rng = $crate::test_runner::TestRng::deterministic();
+                for __case_idx in 0..__config.cases {
+                    $(let $arg = $crate::strategy::Strategy::new_value(&($strat), &mut __rng);)+
+                    let __result = (move || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        #[allow(unreachable_code)]
+                        Ok(())
+                    })();
+                    if let Err(e) = __result {
+                        panic!(
+                            "proptest case {}/{} failed: {}",
+                            __case_idx + 1,
+                            __config.cases,
+                            e
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with $crate::test_runner::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+/// A strategy choosing uniformly among the given same-typed strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Asserts within a property body; failure rejects the case with a
+/// message instead of panicking directly (the runner panics with context).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Equality assertion within a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: `{} == {}` ({:?} vs {:?})",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, $($fmt)*);
+    }};
+}
+
+/// Inequality assertion within a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l != r,
+            "assertion failed: `{} != {}` (both {:?})",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u64..10, y in -2.0f64..2.0) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&y));
+        }
+
+        #[test]
+        fn tuples_and_maps_compose(v in (1usize..5, 1usize..5).prop_map(|(a, b)| a * b)) {
+            prop_assert!((1..=16).contains(&v));
+        }
+
+        #[test]
+        fn oneof_picks_each_arm(x in prop_oneof![Just(1u32), Just(2u32), Just(3u32)]) {
+            prop_assert!(x >= 1 && x <= 3);
+        }
+
+        #[test]
+        fn flat_map_chains(pair in (2usize..6).prop_flat_map(|n| (Just(n), 0usize..n))) {
+            let (n, i) = pair;
+            prop_assert!(i < n);
+        }
+
+        #[test]
+        fn collection_vec_has_requested_len(v in crate::collection::vec(0u8..=255, 7)) {
+            prop_assert_eq!(v.len(), 7);
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! Offline stand-in for `rand_distr` with the distributions this
+//! workspace uses: [`Normal`], [`LogNormal`] (both via Box–Muller, so the
+//! moments are exact, which the workspace's statistical tests rely on)
+//! and [`Zipf`] (Hörmann–Derflinger rejection-inversion).
+
+use rand::RngCore;
+use std::fmt;
+
+/// Types that can generate samples of `T`.
+pub trait Distribution<T> {
+    /// Draws one sample.
+    fn sample<R: rand::Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Parameter error for distribution constructors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Error {
+    what: &'static str,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.what)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Error alias matching upstream's per-distribution error types.
+pub type NormalError = Error;
+/// Error alias matching upstream's per-distribution error types.
+pub type ZipfError = Error;
+
+/// A standard-normal draw via Box–Muller (one of the pair is discarded;
+/// distributions here are stateless, and exactness beats speed for this
+/// workspace's sample sizes).
+fn standard_normal<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    // u1 in (0, 1] so ln(u1) is finite.
+    let u1 = ((rng.next_u64() >> 11) + 1) as f64 * (1.0 / (1u64 << 53) as f64);
+    let u2 = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Normal (Gaussian) distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Mean `mean`, standard deviation `std_dev >= 0`.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, Error> {
+        if std_dev.is_finite() && std_dev >= 0.0 && mean.is_finite() {
+            Ok(Normal { mean, std_dev })
+        } else {
+            Err(Error { what: "Normal requires finite mean and std_dev >= 0" })
+        }
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: rand::Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mean + self.std_dev * standard_normal(rng)
+    }
+}
+
+/// Log-normal distribution: `exp(N(mu, sigma))`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Location `mu` and scale `sigma >= 0` of the underlying normal.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, Error> {
+        if sigma.is_finite() && sigma >= 0.0 && mu.is_finite() {
+            Ok(LogNormal { mu, sigma })
+        } else {
+            Err(Error { what: "LogNormal requires finite mu and sigma >= 0" })
+        }
+    }
+}
+
+impl Distribution<f64> for LogNormal {
+    fn sample<R: rand::Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        (self.mu + self.sigma * standard_normal(rng)).exp()
+    }
+}
+
+/// Zipf distribution on `{1, .., n}` with exponent `s > 0`:
+/// `P(k) ∝ k^-s`. Samples are returned as `f64` like upstream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Zipf {
+    n: f64,
+    s: f64,
+    /// Precomputed rejection-inversion constants.
+    h_x1: f64,
+    h_n: f64,
+    threshold: f64,
+}
+
+impl Zipf {
+    /// `n >= 1` elements, exponent `s > 0`.
+    pub fn new(n: u64, s: f64) -> Result<Self, Error> {
+        if n < 1 || !(s > 0.0) || !s.is_finite() {
+            return Err(Error { what: "Zipf requires n >= 1 and finite s > 0" });
+        }
+        let nf = n as f64;
+        let h_x1 = harmonic_int(1.5, s) - 1.0;
+        let h_n = harmonic_int(nf + 0.5, s);
+        let threshold = 2.0 - harmonic_inv(harmonic_int(2.5, s) - 2f64.powf(-s), s);
+        Ok(Zipf { n: nf, s, h_x1, h_n, threshold })
+    }
+}
+
+/// Antiderivative of `x^-s` (shifted so it is finite at `s == 1`).
+fn harmonic_int(x: f64, s: f64) -> f64 {
+    if (s - 1.0).abs() < 1e-12 {
+        x.ln()
+    } else {
+        (x.powf(1.0 - s) - 1.0) / (1.0 - s)
+    }
+}
+
+fn harmonic_inv(v: f64, s: f64) -> f64 {
+    if (s - 1.0).abs() < 1e-12 {
+        v.exp()
+    } else {
+        (1.0 + v * (1.0 - s)).powf(1.0 / (1.0 - s))
+    }
+}
+
+impl Distribution<f64> for Zipf {
+    fn sample<R: rand::Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.n < 1.5 {
+            return 1.0;
+        }
+        loop {
+            let u = self.h_n + rand::Rng::gen_range(rng, 0.0..1.0) * (self.h_x1 - self.h_n);
+            let x = harmonic_inv(u, self.s);
+            let k = (x + 0.5).floor().clamp(1.0, self.n);
+            if k - x <= self.threshold
+                || u >= harmonic_int(k + 0.5, self.s) - k.powf(-self.s)
+            {
+                return k;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lognormal_mean_is_exact() {
+        // E[LogNormal(mu, sigma)] = exp(mu + sigma^2 / 2).
+        let d = LogNormal::new(1.0, 0.5).unwrap();
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 200_000;
+        let mean: f64 = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
+        let expect = (1.0f64 + 0.125).exp();
+        assert!((mean - expect).abs() / expect < 0.01, "mean {mean} vs {expect}");
+    }
+
+    #[test]
+    fn normal_moments() {
+        let d = Normal::new(3.0, 2.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.02, "mean {mean}");
+        assert!((var - 4.0).abs() / 4.0 < 0.02, "var {var}");
+    }
+
+    #[test]
+    fn zipf_in_range_and_skewed() {
+        let d = Zipf::new(1000, 1.2).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut ones = 0usize;
+        for _ in 0..10_000 {
+            let x = d.sample(&mut rng);
+            assert!((1.0..=1000.0).contains(&x), "out of range: {x}");
+            assert_eq!(x.fract(), 0.0);
+            if x == 1.0 {
+                ones += 1;
+            }
+        }
+        // With s = 1.2, P(1) ≈ 1/ζ(1.2, truncated) ≳ 0.2 — far above uniform.
+        assert!(ones > 1000, "rank 1 drawn only {ones}/10000 times");
+    }
+
+    #[test]
+    fn zipf_handles_exponent_one() {
+        let d = Zipf::new(100, 1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let x = d.sample(&mut rng);
+            assert!((1.0..=100.0).contains(&x));
+        }
+    }
+}
