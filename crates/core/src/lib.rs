@@ -40,6 +40,6 @@ pub mod pipeline;
 pub mod predictor;
 pub mod report;
 
-pub use pipeline::{AnalysisReport, Pipeline, PipelineError};
+pub use pipeline::{AnalysisJob, AnalysisReport, AnalysisState, Pipeline, PipelineError};
 pub use predictor::{E2ePredictor, OverheadGranularity, Prediction, T4Policy};
 pub use report::{ErrorSummary, PredictionRow};

@@ -14,8 +14,12 @@ use dlperf_gpusim::DeviceSpec;
 use dlperf_graph::lower::LowerError;
 use dlperf_graph::Graph;
 use dlperf_kernels::{CalibrationEffort, ModelRegistry};
+use dlperf_runtime::{
+    JobContext, JobError, ResumableJob, RunReport, StepOutcome, Supervisor, SupervisorError,
+};
 use dlperf_trace::engine::{EngineError, ExecutionEngine};
 use dlperf_trace::{OverheadStats, Trace};
+use serde::{Deserialize, Serialize};
 
 use crate::predictor::{E2ePredictor, Prediction};
 
@@ -208,6 +212,77 @@ impl Pipeline {
         Ok((pipeline, report))
     }
 
+    /// The supervised analysis track: like [`Pipeline::analyze_resilient`],
+    /// but run under a [`Supervisor`] — one checkpointable step per
+    /// workload, so a killed analysis resumes from its last snapshot and
+    /// still produces a bitwise-identical pipeline (each workload's engine
+    /// is seeded independently by its input index, and kernel calibration
+    /// is a deterministic function of `(device, effort, seed)` redone at
+    /// assembly time rather than checkpointed).
+    ///
+    /// Returns the run's [`RunReport`] alongside the result so callers see
+    /// restarts, resumes, and checkpoint counts even on failure.
+    pub fn analyze_supervised(
+        device: &DeviceSpec,
+        workloads: &[Graph],
+        effort: CalibrationEffort,
+        iters: usize,
+        seed: u64,
+        supervisor: &mut Supervisor,
+    ) -> (Result<(Self, AnalysisReport), SupervisorError>, RunReport) {
+        let job = AnalysisJob::new(device, workloads, iters, seed);
+        let invalid = if workloads.is_empty() {
+            Some(PipelineError::NoWorkloads)
+        } else if iters == 0 {
+            Some(PipelineError::NoIterations)
+        } else {
+            None
+        };
+        if let Some(why) = invalid {
+            let name = job.name().to_string();
+            return (
+                Err(SupervisorError::Failed { job: name.clone(), why: why.to_string() }),
+                RunReport { job: name, ..RunReport::default() },
+            );
+        }
+        let (result, report) = supervisor.run(&job);
+        let result = result.map(|state| {
+            let registry = ModelRegistry::calibrate(device, effort, seed ^ 0xabcd);
+            Self::assemble(device, registry, state)
+        });
+        (result, report)
+    }
+
+    /// Rebuilds a pipeline + report from a completed [`AnalysisState`].
+    fn assemble(
+        device: &DeviceSpec,
+        registry: ModelRegistry,
+        state: AnalysisState,
+    ) -> (Self, AnalysisReport) {
+        let per_workload: Vec<(String, OverheadStats)> = state
+            .analyzed
+            .into_iter()
+            .map(|(name, json)| {
+                // The state came out of a checksummed checkpoint (or straight
+                // from `extract`); a parse failure here is a code bug.
+                let stats = OverheadStats::from_json(&json)
+                    .expect("checkpointed overhead stats must parse");
+                (name, stats)
+            })
+            .collect();
+        let report = AnalysisReport {
+            analyzed: per_workload.iter().map(|(n, _)| n.clone()).collect(),
+            skipped: state.skipped,
+        };
+        let shared = OverheadStats::merge(&per_workload.iter().map(|(_, s)| s).collect::<Vec<_>>());
+        let pipeline = Pipeline {
+            device: device.clone(),
+            predictor: E2ePredictor::new(registry, shared),
+            per_workload,
+        };
+        (pipeline, report)
+    }
+
     /// Builds a pipeline from precomputed assets (e.g. a JSON overhead
     /// database from another session).
     pub fn from_assets(device: DeviceSpec, registry: ModelRegistry, overheads: OverheadStats) -> Self {
@@ -267,6 +342,87 @@ impl Pipeline {
         // The predictor's stats are the shared merge by construction.
         let all: Vec<&OverheadStats> = self.per_workload.iter().map(|(_, s)| s).collect();
         OverheadStats::merge(&all).to_json()
+    }
+}
+
+/// Resumable progress of the supervised analysis track.
+///
+/// Overhead statistics ride as their JSON form ([`OverheadStats::to_json`])
+/// because `OverheadStats` round-trips bitwise through it and the
+/// checkpoint envelope re-serializes the whole state anyway; errors ride as
+/// typed [`EngineError`]s.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct AnalysisState {
+    /// `(workload name, OverheadStats JSON)` for each analyzed workload,
+    /// in input order.
+    analyzed: Vec<(String, String)>,
+    /// Workloads skipped, each with the error that disqualified it.
+    skipped: Vec<(String, EngineError)>,
+}
+
+/// The analysis track packaged as a [`ResumableJob`]: one step per input
+/// workload, checkpointable between workloads. Step `i` always analyzes
+/// workload `i` with engine seed `seed + i`, independent of how earlier
+/// steps fared — the property that makes a resumed run bitwise identical
+/// to an uninterrupted one.
+pub struct AnalysisJob<'a> {
+    device: &'a DeviceSpec,
+    workloads: &'a [Graph],
+    iters: usize,
+    seed: u64,
+}
+
+impl<'a> AnalysisJob<'a> {
+    /// Packages one analysis run. Input validation (non-empty workloads,
+    /// non-zero iterations) is the caller's job — see
+    /// [`Pipeline::analyze_supervised`].
+    pub fn new(device: &'a DeviceSpec, workloads: &'a [Graph], iters: usize, seed: u64) -> Self {
+        AnalysisJob { device, workloads, iters, seed }
+    }
+}
+
+impl ResumableJob for AnalysisJob<'_> {
+    type State = AnalysisState;
+    type Output = AnalysisState;
+
+    fn name(&self) -> &str {
+        "core.analysis"
+    }
+
+    fn initial_state(&self) -> AnalysisState {
+        AnalysisState::default()
+    }
+
+    fn step(&self, state: &mut AnalysisState, ctx: &JobContext) -> Result<StepOutcome, JobError> {
+        ctx.check_cancelled()?;
+        let i = state.analyzed.len() + state.skipped.len();
+        debug_assert_eq!(i as u64, ctx.step, "analysis state out of sync with supervisor step");
+        let g = &self.workloads[i];
+        let mut engine =
+            ExecutionEngine::new(self.device.clone(), self.seed.wrapping_add(i as u64));
+        match engine.run_iterations(g, self.iters) {
+            Ok(runs) => {
+                let traces: Vec<Trace> = runs.into_iter().map(|r| r.trace).collect();
+                state
+                    .analyzed
+                    .push((g.name.clone(), OverheadStats::extract(&traces, true).to_json()));
+            }
+            Err(e) => state.skipped.push((g.name.clone(), e)),
+        }
+        if state.analyzed.len() + state.skipped.len() < self.workloads.len() {
+            return Ok(StepOutcome::Continue);
+        }
+        if state.analyzed.is_empty() {
+            // Retrying cannot help: every workload failed deterministically.
+            return Err(JobError::Failed(
+                PipelineError::AllWorkloadsFailed(state.skipped.clone()).to_string(),
+            ));
+        }
+        Ok(StepOutcome::Done)
+    }
+
+    fn finish(&self, state: AnalysisState) -> AnalysisState {
+        state
     }
 }
 
@@ -343,6 +499,125 @@ mod tests {
         assert!(report.summary().contains("broken-graph"), "summary: {}", report.summary());
         // The surviving pipeline still predicts.
         assert!(pipe.predict(&workloads[0]).unwrap().e2e_us > 0.0);
+    }
+
+    #[test]
+    fn supervised_analysis_matches_resilient_bitwise() {
+        let dev = DeviceSpec::v100();
+        let workloads = vec![small(128), malformed("broken-graph"), small(256)];
+        let (pipe_a, report_a) =
+            Pipeline::analyze_resilient(&dev, &workloads, CalibrationEffort::Quick, 5, 6)
+                .expect("two good workloads remain");
+
+        let mut sup = Supervisor::new(dlperf_runtime::SupervisorConfig::default());
+        let (res, run) =
+            Pipeline::analyze_supervised(&dev, &workloads, CalibrationEffort::Quick, 5, 6, &mut sup);
+        let (pipe_b, report_b) = res.expect("supervised analysis succeeds");
+
+        assert_eq!(run.steps_completed, 3);
+        assert_eq!(report_a.analyzed, report_b.analyzed);
+        assert_eq!(report_a.skipped, report_b.skipped);
+        for g in [&workloads[0], &workloads[2]] {
+            let a = pipe_a.predict(g).unwrap();
+            let b = pipe_b.predict(g).unwrap();
+            assert_eq!(a.e2e_us.to_bits(), b.e2e_us.to_bits(), "shared prediction for {}", g.name);
+            let ia = pipe_a.predict_individual(g).unwrap();
+            let ib = pipe_b.predict_individual(g).unwrap();
+            assert_eq!(ia.e2e_us.to_bits(), ib.e2e_us.to_bits(), "individual for {}", g.name);
+        }
+    }
+
+    #[test]
+    fn supervised_analysis_killed_and_resumed_is_bitwise_identical() {
+        use dlperf_faults::{FaultInjector, FaultPlan};
+        use dlperf_runtime::{FileStore, Supervisor, SupervisorConfig};
+
+        let dev = DeviceSpec::v100();
+        let workloads = vec![small(128), small(192), small(256)];
+        let (effort, iters, seed) = (CalibrationEffort::Quick, 5, 7);
+
+        // Reference: uninterrupted run.
+        let mut sup = Supervisor::new(SupervisorConfig::default());
+        let (res, _) =
+            Pipeline::analyze_supervised(&dev, &workloads, effort, iters, seed, &mut sup);
+        let (pipe_ref, _) = res.expect("uninterrupted run succeeds");
+
+        let dir = std::env::temp_dir().join("dlperf-core-resume-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("analysis.ckpt.json");
+        std::fs::remove_file(&path).ok();
+
+        // Run A: a chaos plan kills the worker partway through and the
+        // restart budget is zero, so the run dies with a checkpoint behind.
+        let cfg = SupervisorConfig { max_restarts: 0, ..SupervisorConfig::default() };
+        let mut sup_a = Supervisor::with_store(cfg, Box::new(FileStore::new(&path)));
+        // Plan seed 10 draws no kill for step 0 and a kill for step 1 at
+        // this probability, so the run dies with exactly one step behind it.
+        sup_a.set_fault_injector(FaultInjector::new(
+            FaultPlan::healthy(10).with_worker_faults(0.0, 0.9, 0.0),
+        ));
+        let (res_a, report_a) =
+            Pipeline::analyze_supervised(&dev, &workloads, effort, iters, seed, &mut sup_a);
+        assert!(res_a.is_err(), "the kill must take the run down");
+        assert!(
+            report_a.steps_completed > 0 && report_a.steps_completed < 3,
+            "the kill must land mid-run (completed {}), adjust the plan seed",
+            report_a.steps_completed
+        );
+        assert!(path.exists(), "a checkpoint must survive the kill");
+
+        // Run B: a fresh supervisor (fresh process, in effect) resumes from
+        // the checkpoint and completes.
+        let mut sup_b =
+            Supervisor::with_store(SupervisorConfig::default(), Box::new(FileStore::new(&path)));
+        let (res_b, report_b) =
+            Pipeline::analyze_supervised(&dev, &workloads, effort, iters, seed, &mut sup_b);
+        let (pipe_b, analysis_b) = res_b.expect("resumed run completes");
+        assert_eq!(report_b.resumed_from_step, Some(report_a.steps_completed));
+        assert!(analysis_b.is_clean());
+        assert!(!path.exists(), "checkpoint is cleared after success");
+
+        for g in &workloads {
+            let r = pipe_ref.predict(g).unwrap();
+            let b = pipe_b.predict(g).unwrap();
+            assert_eq!(r.e2e_us.to_bits(), b.e2e_us.to_bits(), "prediction for {}", g.name);
+        }
+    }
+
+    #[test]
+    fn supervised_analysis_typed_errors() {
+        let dev = DeviceSpec::v100();
+        let mut sup = Supervisor::new(dlperf_runtime::SupervisorConfig::default());
+        let (res, _) =
+            Pipeline::analyze_supervised(&dev, &[], CalibrationEffort::Quick, 5, 0, &mut sup);
+        match res {
+            Err(SupervisorError::Failed { why, .. }) => assert!(why.contains("workload")),
+            other => panic!("expected Failed, got {other:?}"),
+        }
+        let (res, _) = Pipeline::analyze_supervised(
+            &dev,
+            &[small(64)],
+            CalibrationEffort::Quick,
+            0,
+            0,
+            &mut sup,
+        );
+        match res {
+            Err(SupervisorError::Failed { why, .. }) => assert!(why.contains("iteration")),
+            other => panic!("expected Failed, got {other:?}"),
+        }
+        let (res, _) = Pipeline::analyze_supervised(
+            &dev,
+            &[malformed("only")],
+            CalibrationEffort::Quick,
+            3,
+            0,
+            &mut sup,
+        );
+        match res {
+            Err(SupervisorError::Failed { why, .. }) => assert!(why.contains("only")),
+            other => panic!("expected Failed, got {other:?}"),
+        }
     }
 
     #[test]

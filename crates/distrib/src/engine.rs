@@ -72,6 +72,9 @@ pub struct MultiGpuEngine {
     injector: Option<FaultInjector>,
     /// Iteration counter keying per-iteration fault sites.
     iteration: u64,
+    /// Wall-clock budget (µs) for collective retry penalties per
+    /// collective; `None` retries to the plan's `max_retries` unbounded.
+    retry_deadline_us: Option<f64>,
 }
 
 impl MultiGpuEngine {
@@ -84,6 +87,7 @@ impl MultiGpuEngine {
             profiling: false,
             injector: None,
             iteration: 0,
+            retry_deadline_us: None,
         }
     }
 
@@ -115,6 +119,33 @@ impl MultiGpuEngine {
     /// The installed fault plan, if any.
     pub fn fault_plan(&self) -> Option<&FaultPlan> {
         self.injector.as_ref().map(FaultInjector::plan)
+    }
+
+    /// Caps the retry penalty any single collective may accumulate: once
+    /// timeouts + backoff reach the deadline, the collective is dropped
+    /// (gradient skipped, as under PR 1's drop semantics) instead of
+    /// retrying further. This is the distributed-training analogue of the
+    /// supervisor's run deadline — a flaky wire degrades, it does not hang
+    /// the job. `None` (the default) restores unbounded retries up to the
+    /// plan's `max_retries`.
+    ///
+    /// Attempt outcomes at a site are unchanged by the deadline (they are
+    /// stateless hash draws), so enabling it never reorders which
+    /// collectives fail — it only truncates how long failure is allowed
+    /// to cost.
+    ///
+    /// # Panics
+    /// Panics if `deadline_us` is negative, NaN, or infinite.
+    pub fn set_retry_deadline_us(&mut self, deadline_us: Option<f64>) {
+        if let Some(d) = deadline_us {
+            assert!(d >= 0.0 && d.is_finite(), "retry deadline must be non-negative and finite");
+        }
+        self.retry_deadline_us = deadline_us;
+    }
+
+    /// The configured collective retry deadline, if any.
+    pub fn retry_deadline_us(&self) -> Option<f64> {
+        self.retry_deadline_us
     }
 
     /// Measures one distributed iteration.
@@ -169,19 +200,23 @@ impl MultiGpuEngine {
                 continue;
             }
             if let Some(inj) = &self.injector {
-                let outcome = inj.collective_outcome(iteration, idx, base);
+                let outcome =
+                    inj.collective_outcome_with_budget(iteration, idx, base, self.retry_deadline_us);
                 *c = outcome.total_us;
                 collective_retries += outcome.retries;
                 retry_added_us += outcome.added_latency_us;
-                if outcome.retries > 0 {
+                let deadline_hit = outcome.dropped
+                    && self.retry_deadline_us.is_some_and(|d| outcome.added_latency_us >= d);
+                if outcome.retries > 0 || deadline_hit {
                     degradation.push(format!(
-                        "C{} {} {}: {} retr{}, +{:.0} µs",
+                        "C{} {} {}: {} retr{}, +{:.0} µs{}",
                         idx + 1,
                         spec.kind,
                         if outcome.dropped { "dropped" } else { "recovered" },
                         outcome.retries,
                         if outcome.retries == 1 { "y" } else { "ies" },
-                        outcome.added_latency_us
+                        outcome.added_latency_us,
+                        if deadline_hit { " (retry deadline hit)" } else { "" }
                     ));
                 }
                 if outcome.dropped {
@@ -324,6 +359,61 @@ mod tests {
             }
         }
         assert!(retries > 0, "p=0.9 over 15 collectives must retry at least once");
+    }
+
+    #[test]
+    fn retry_deadline_caps_flaky_collective_penalties() {
+        let j = job(4, 1024);
+        let plan = FaultPlan::healthy(11).with_collective_faults(0.9, 800.0, 6, 40.0);
+
+        let mut unbounded = MultiGpuEngine::with_faults(DeviceSpec::v100(), 7, plan.clone());
+        let mut capped = MultiGpuEngine::with_faults(DeviceSpec::v100(), 7, plan);
+        let deadline = 1000.0;
+        capped.set_retry_deadline_us(Some(deadline));
+        assert_eq!(capped.retry_deadline_us(), Some(deadline));
+
+        let mut saw_cap = false;
+        for _ in 0..5 {
+            let ru = unbounded.run(&j).unwrap();
+            let rc = capped.run(&j).unwrap();
+            // Attempt outcomes are stateless hash draws, so the deadline
+            // never *adds* latency — it only truncates.
+            assert!(
+                rc.retry_added_us <= ru.retry_added_us + 1e-9,
+                "deadline added latency: {} vs {}",
+                rc.retry_added_us,
+                ru.retry_added_us
+            );
+            // Per-collective penalty can never exceed the deadline.
+            for idx in 0..3 {
+                assert!(rc.comm_us[idx] <= ru.comm_us[idx] + 1e-9);
+            }
+            if ru.retry_added_us > rc.retry_added_us + 1e-9 {
+                saw_cap = true;
+                assert!(
+                    rc.degradation.iter().any(|d| d.contains("retry deadline hit")),
+                    "capped run must report the deadline: {:?}",
+                    rc.degradation
+                );
+                assert!(rc.dropped_collectives.iter().any(|&d| d));
+            }
+        }
+        assert!(saw_cap, "p=0.9 over 15 collectives must hit the deadline at least once");
+    }
+
+    #[test]
+    fn no_deadline_is_bitwise_identical_to_the_old_path() {
+        let j = job(4, 1024);
+        let plan = FaultPlan::healthy(11).with_collective_faults(0.5, 800.0, 3, 40.0);
+        let mut a = MultiGpuEngine::with_faults(DeviceSpec::v100(), 7, plan.clone());
+        let mut b = MultiGpuEngine::with_faults(DeviceSpec::v100(), 7, plan);
+        b.set_retry_deadline_us(Some(1e12)); // effectively unbounded
+        for _ in 0..3 {
+            let ra = a.run(&j).unwrap();
+            let rb = b.run(&j).unwrap();
+            assert_eq!(ra.e2e_us.to_bits(), rb.e2e_us.to_bits());
+            assert_eq!(ra.collective_retries, rb.collective_retries);
+        }
     }
 
     #[test]

@@ -36,6 +36,41 @@ pub struct Straggler {
     pub factor: f64,
 }
 
+/// Worker-process fault probabilities evaluated per supervised job step.
+///
+/// Consumed by `dlperf-runtime`'s supervisor: before each step it hashes
+/// the site `(job key, step, attempt)` and, with these probabilities,
+/// makes the worker panic, die, or hang — exercising panic isolation,
+/// restart budgets, and hang watchdogs deterministically.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct WorkerFaultPlan {
+    /// Probability that a step panics before running.
+    pub panic_prob: f64,
+    /// Probability that the worker is killed before the step runs.
+    pub kill_prob: f64,
+    /// Probability that the worker hangs before the step runs (recovered
+    /// only by an attempt watchdog).
+    pub hang_prob: f64,
+}
+
+impl WorkerFaultPlan {
+    /// Whether all probabilities are zero.
+    pub fn is_healthy(&self) -> bool {
+        self.panic_prob == 0.0 && self.kill_prob == 0.0 && self.hang_prob == 0.0
+    }
+}
+
+/// A worker fault selected at one `(job, step, attempt)` site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WorkerFault {
+    /// The worker panics (caught by the supervisor's `catch_unwind`).
+    Panic,
+    /// The worker dies without unwinding (supervisor restarts it).
+    Kill,
+    /// The worker stops making progress (recovered by the hang watchdog).
+    Hang,
+}
+
 /// A complete, serializable fault scenario.
 ///
 /// The default plan is healthy: no stragglers, no slowdowns, no drops, no
@@ -65,6 +100,9 @@ pub struct FaultPlan {
     /// Base of the exponential backoff added before retry `a`
     /// (`backoff_base_us × 2^a` µs).
     pub backoff_base_us: f64,
+    /// Worker-process faults for supervised jobs. `None` means healthy, so
+    /// plans serialized before this field existed still deserialize.
+    pub worker: Option<WorkerFaultPlan>,
 }
 
 impl Default for FaultPlan {
@@ -86,6 +124,7 @@ impl FaultPlan {
             collective_timeout_us: 1_000.0,
             max_retries: 3,
             backoff_base_us: 50.0,
+            worker: None,
         }
     }
 
@@ -165,6 +204,23 @@ impl FaultPlan {
         self
     }
 
+    /// Configures worker-process faults for supervised jobs (builder
+    /// style). Probabilities are independent draws folded into one site
+    /// sample; their sum must stay in `[0, 1]`.
+    pub fn with_worker_faults(mut self, panic_prob: f64, kill_prob: f64, hang_prob: f64) -> Self {
+        for (name, p) in
+            [("panic", panic_prob), ("kill", kill_prob), ("hang", hang_prob)]
+        {
+            assert!((0.0..=1.0).contains(&p), "worker {name} probability must be in [0, 1]");
+        }
+        assert!(
+            panic_prob + kill_prob + hang_prob <= 1.0,
+            "worker fault probabilities must sum to at most 1"
+        );
+        self.worker = Some(WorkerFaultPlan { panic_prob, kill_prob, hang_prob });
+        self
+    }
+
     /// Whether the plan injects any fault at all.
     pub fn is_healthy(&self) -> bool {
         self.stragglers.is_empty()
@@ -172,6 +228,7 @@ impl FaultPlan {
             && self.thermal_windows.is_empty()
             && self.host_jitter_us == 0.0
             && self.collective_drop_prob == 0.0
+            && self.worker.is_none_or(|w| w.is_healthy())
     }
 }
 
@@ -209,6 +266,30 @@ fn mix(mut z: u64) -> u64 {
     z ^ (z >> 33)
 }
 
+/// Stateless hash of `(seed, site words)` — the scheme behind every
+/// injector decision, exported so resumable jobs can derive independent
+/// per-unit seeds (e.g. one RNG stream per microbenchmark chunk) that do
+/// not depend on execution order or on where a resume happened.
+pub fn derive_seed(seed: u64, site: &[u64]) -> u64 {
+    let mut h = seed ^ 0x9e37_79b9_7f4a_7c15;
+    for &w in site {
+        h = mix(h ^ w.wrapping_add(0x9e37_79b9_7f4a_7c15));
+    }
+    h
+}
+
+/// Hashes a textual site name (e.g. a supervised job's name) into one site
+/// word, so string-keyed sites compose with [`derive_seed`].
+pub fn site_key(name: &str) -> u64 {
+    // FNV-1a over the bytes, then the avalanche finalizer.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in name.as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    mix(h)
+}
+
 impl FaultInjector {
     /// Creates an injector for `plan`.
     pub fn new(plan: FaultPlan) -> Self {
@@ -222,12 +303,8 @@ impl FaultInjector {
 
     /// Deterministic uniform sample in `[0, 1)` keyed by the fault site.
     fn unit(&self, site: &[u64]) -> f64 {
-        let mut h = self.plan.seed ^ 0x9e37_79b9_7f4a_7c15;
-        for &w in site {
-            h = mix(h ^ w.wrapping_add(0x9e37_79b9_7f4a_7c15));
-        }
         // 53 high bits → the unit interval, like rand's float conversion.
-        (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        (derive_seed(self.plan.seed, site) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Combined straggler multiplier for `rank` (1.0 when healthy).
@@ -292,6 +369,86 @@ impl FaultInjector {
             added_latency_us: added,
             dropped,
             total_us: base_us + added,
+        }
+    }
+
+    /// Like [`FaultInjector::collective_outcome`], but with a retry
+    /// deadline: once the accumulated timeout/backoff penalty would exceed
+    /// `retry_budget_us` of simulated time, remaining retries are skipped,
+    /// the penalty is capped at the budget (the engine waited exactly
+    /// until its deadline), and the collective is declared dropped.
+    ///
+    /// Per-attempt outcomes hash the same sites as the unbudgeted model,
+    /// so adding a budget never changes *which* attempts fail — only how
+    /// long the engine is willing to keep retrying.
+    pub fn collective_outcome_with_budget(
+        &self,
+        iteration: u64,
+        collective: usize,
+        base_us: f64,
+        retry_budget_us: Option<f64>,
+    ) -> CollectiveOutcome {
+        let budget = match retry_budget_us {
+            None => return self.collective_outcome(iteration, collective, base_us),
+            Some(b) => {
+                assert!(b >= 0.0 && b.is_finite(), "retry budget must be non-negative and finite");
+                b
+            }
+        };
+        let p = self.plan.collective_drop_prob.clamp(0.0, 1.0);
+        let mut added = 0.0;
+        let mut attempts = 0u32;
+        let mut dropped = true;
+        while attempts <= self.plan.max_retries {
+            let fails = p > 0.0
+                && self.unit(&[0xC011, iteration, collective as u64, attempts as u64]) < p;
+            attempts += 1;
+            if !fails {
+                dropped = false;
+                break;
+            }
+            let penalty = self.plan.collective_timeout_us
+                + self.plan.backoff_base_us * f64::from(1u32 << (attempts - 1).min(20));
+            if added + penalty >= budget {
+                added = budget;
+                break;
+            }
+            added += penalty;
+        }
+        CollectiveOutcome {
+            attempts,
+            retries: attempts - 1,
+            added_latency_us: added,
+            dropped,
+            total_us: base_us + added,
+        }
+    }
+
+    /// Evaluates the worker-fault model at the stateless site
+    /// `(job key, step, attempt)`. Returns the fault to inject before the
+    /// step runs, or `None` (the overwhelmingly common case).
+    ///
+    /// One uniform sample is split across the three probabilities, so a
+    /// given site injects at most one fault kind, deterministically.
+    pub fn worker_fault(&self, job_key: u64, step: u64, attempt: u32) -> Option<WorkerFault> {
+        let w = self.plan.worker?;
+        if w.is_healthy() {
+            return None;
+        }
+        let u = self.unit(&[0x3013_57E9, job_key, step, u64::from(attempt)]);
+        let (p_panic, p_kill, p_hang) = (
+            w.panic_prob.clamp(0.0, 1.0),
+            w.kill_prob.clamp(0.0, 1.0),
+            w.hang_prob.clamp(0.0, 1.0),
+        );
+        if u < p_panic {
+            Some(WorkerFault::Panic)
+        } else if u < p_panic + p_kill {
+            Some(WorkerFault::Kill)
+        } else if u < p_panic + p_kill + p_hang {
+            Some(WorkerFault::Hang)
+        } else {
+            None
         }
     }
 }
@@ -388,5 +545,72 @@ mod tests {
     #[should_panic(expected = "intensity must be in [0, 1]")]
     fn chaos_rejects_out_of_range_intensity() {
         FaultPlan::chaos(0, 1.5);
+    }
+
+    #[test]
+    fn worker_faults_are_deterministic_and_cover_all_kinds() {
+        let inj = FaultInjector::new(
+            FaultPlan::healthy(11).with_worker_faults(0.2, 0.2, 0.2),
+        );
+        let key = site_key("grid-search");
+        let mut seen = std::collections::BTreeMap::new();
+        for step in 0..500u64 {
+            let a = inj.worker_fault(key, step, 1);
+            let b = inj.worker_fault(key, step, 1);
+            assert_eq!(a, b, "same site must give the same decision");
+            *seen.entry(format!("{a:?}")).or_insert(0u32) += 1;
+        }
+        assert!(seen.len() == 4, "panic, kill, hang and none should all occur: {seen:?}");
+        // A retry of the same step is a different site.
+        let differs =
+            (0..500).any(|s| inj.worker_fault(key, s, 1) != inj.worker_fault(key, s, 2));
+        assert!(differs, "attempt number must feed the site hash");
+    }
+
+    #[test]
+    fn healthy_worker_plan_never_faults() {
+        let inj = FaultInjector::new(FaultPlan::healthy(0));
+        assert!((0..100).all(|s| inj.worker_fault(site_key("job"), s, 1).is_none()));
+    }
+
+    #[test]
+    fn old_plan_json_without_worker_field_still_loads() {
+        let json = serde_json::to_string(&FaultPlan::healthy(5)).expect("serializes");
+        let legacy = json.replace(",\"worker\":null", "");
+        assert_ne!(json, legacy, "the worker key must have been stripped");
+        let back: FaultPlan = serde_json::from_str(&legacy).expect("legacy plan loads");
+        assert!(back.worker.is_none());
+    }
+
+    #[test]
+    fn retry_budget_caps_penalty_without_changing_attempt_outcomes() {
+        let plan = FaultPlan::healthy(1).with_collective_faults(1.0, 100.0, 4, 10.0);
+        let inj = FaultInjector::new(plan);
+        let unbudgeted = inj.collective_outcome(2, 0, 50.0);
+        assert!(unbudgeted.dropped);
+        let no_budget = inj.collective_outcome_with_budget(2, 0, 50.0, None);
+        assert_eq!(unbudgeted, no_budget);
+        let capped = inj.collective_outcome_with_budget(2, 0, 50.0, Some(150.0));
+        assert!(capped.dropped, "budget exhaustion is a drop");
+        assert!((capped.added_latency_us - 150.0).abs() < 1e-9, "penalty capped at the budget");
+        assert!(capped.attempts <= unbudgeted.attempts);
+        // A generous budget reproduces the unbudgeted outcome exactly.
+        let roomy = inj.collective_outcome_with_budget(2, 0, 50.0, Some(1e9));
+        assert_eq!(roomy, unbudgeted);
+    }
+
+    #[test]
+    fn site_key_separates_names() {
+        assert_ne!(site_key("grid-search"), site_key("microbench"));
+        assert_eq!(site_key("grid-search"), site_key("grid-search"));
+        // derive_seed gives distinct streams per site word.
+        assert_ne!(derive_seed(7, &[0]), derive_seed(7, &[1]));
+        assert_ne!(derive_seed(7, &[0]), derive_seed(8, &[0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to at most 1")]
+    fn worker_fault_probs_must_sum_to_one() {
+        FaultPlan::healthy(0).with_worker_faults(0.5, 0.5, 0.5);
     }
 }

@@ -125,6 +125,14 @@ impl Graph {
         &self.tensors[id.0]
     }
 
+    /// Tensor metadata by handle, without panicking: `None` if the handle
+    /// does not belong to this graph. The untrusted-input safe twin of
+    /// [`Graph::tensor`] — callers add their own context (e.g. the
+    /// referencing node) to the failure.
+    pub fn try_tensor(&self, id: TensorId) -> Option<&TensorMeta> {
+        self.tensors.get(id.0)
+    }
+
     /// Mutable tensor metadata by handle.
     pub fn tensor_mut(&mut self, id: TensorId) -> &mut TensorMeta {
         &mut self.tensors[id.0]

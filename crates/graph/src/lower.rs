@@ -14,7 +14,10 @@ use crate::op::OpKind;
 use crate::tensor::TensorMeta;
 
 /// Errors raised when an op's tensor shapes do not match its kind.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Serializable so resilient-analysis reports that carry lower failures
+/// can ride inside runtime checkpoints.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct LowerError {
     /// Name of the offending node.
     pub node: String,
@@ -35,17 +38,17 @@ fn err(node: &Node, reason: impl Into<String>) -> LowerError {
 }
 
 fn input<'g>(graph: &'g Graph, node: &Node, i: usize) -> Result<&'g TensorMeta, LowerError> {
-    node.inputs
-        .get(i)
-        .map(|&t| graph.tensor(t))
-        .ok_or_else(|| err(node, format!("missing input {i}")))
+    let &t = node.inputs.get(i).ok_or_else(|| err(node, format!("missing input {i}")))?;
+    graph
+        .try_tensor(t)
+        .ok_or_else(|| err(node, format!("input {i} references a tensor not in this graph")))
 }
 
 fn output<'g>(graph: &'g Graph, node: &Node, i: usize) -> Result<&'g TensorMeta, LowerError> {
-    node.outputs
-        .get(i)
-        .map(|&t| graph.tensor(t))
-        .ok_or_else(|| err(node, format!("missing output {i}")))
+    let &t = node.outputs.get(i).ok_or_else(|| err(node, format!("missing output {i}")))?;
+    graph
+        .try_tensor(t)
+        .ok_or_else(|| err(node, format!("output {i} references a tensor not in this graph")))
 }
 
 fn dims<const N: usize>(t: &TensorMeta, node: &Node) -> Result<[u64; N], LowerError> {
@@ -207,8 +210,15 @@ pub fn try_kernels(graph: &Graph, node: &Node) -> Result<Vec<KernelSpec>, LowerE
             // series of element-wise kernels".
             node.inputs
                 .iter()
-                .map(|&t| ew(graph.tensor(t).numel(), 2.0, 12.0))
-                .collect()
+                .map(|&t| {
+                    graph
+                        .try_tensor(t)
+                        .map(|meta| ew(meta.numel(), 2.0, 12.0))
+                        .ok_or_else(|| {
+                            err(node, "optimizer parameter references a tensor not in this graph")
+                        })
+                })
+                .collect::<Result<Vec<_>, _>>()?
         }
         OpKind::Reshape | OpKind::AddBackward => Vec::new(),
     };
@@ -320,6 +330,30 @@ mod tests {
             kernels(&g, g.node(n3).unwrap()),
             vec![KernelSpec::Transpose { batch: 8, rows: 64, cols: 32 }]
         );
+    }
+
+    #[test]
+    fn out_of_range_tensor_id_is_a_typed_error_not_a_panic() {
+        use crate::tensor::TensorId;
+        let mut g = Graph::new("t");
+        let a = g.add_tensor(TensorMeta::activation(&[4, 4]));
+        let b = g.add_tensor(TensorMeta::activation(&[4, 4]));
+        let n = g.add_op(OpKind::Relu, vec![a], vec![b]);
+        assert!(g.try_tensor(TensorId(99)).is_none());
+        // Forge a node referencing a tensor from "another graph".
+        let mut node = g.node(n).unwrap().clone();
+        node.inputs = vec![TensorId(99)];
+        node.outputs = vec![TensorId(99)];
+        let e = try_kernels(&g, &node).unwrap_err();
+        assert!(e.reason.contains("not in this graph"), "reason: {}", e.reason);
+        // The optimizer path is equally guarded.
+        let mut opt = Graph::new("o");
+        let p = opt.add_tensor(TensorMeta::weight(&[8]));
+        let on = opt.add_op(OpKind::OptimizerStep, vec![p], vec![]);
+        let mut node = opt.node(on).unwrap().clone();
+        node.inputs = vec![TensorId(42)];
+        let e = try_kernels(&opt, &node).unwrap_err();
+        assert!(e.reason.contains("not in this graph"), "reason: {}", e.reason);
     }
 
     #[test]

@@ -37,5 +37,6 @@ pub mod persist;
 pub mod registry;
 
 pub use error::{ErrorStats, ErrorStatsError};
+pub use microbench::{MicrobenchHarness, MicrobenchJob, Microbenchmark, Sample};
 pub use persist::RegistryBundle;
 pub use registry::{CalibrationEffort, Confidence, KernelPerfModel, ModelRegistry};

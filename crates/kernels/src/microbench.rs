@@ -7,11 +7,16 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
 
+use dlperf_faults::{derive_seed, site_key};
 use dlperf_gpusim::{DeviceSpec, Gpu, KernelSpec};
+use dlperf_runtime::{
+    JobContext, JobError, ResumableJob, RunReport, StepOutcome, Supervisor, SupervisorError,
+};
 
 /// One measured point.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Sample {
     /// The benchmarked kernel.
     pub kernel: KernelSpec,
@@ -46,6 +51,127 @@ impl Microbenchmark {
                 Sample { kernel: k.clone(), time_us: self.gpu.benchmark(k, self.timed_iters) }
             })
             .collect()
+    }
+}
+
+/// A resumable microbenchmark harness: the sweep is split into fixed-size
+/// chunks of specs, and each chunk is measured on a **fresh** simulated GPU
+/// whose seed is the stateless hash `derive_seed(seed, [site, chunk])`.
+///
+/// [`Microbenchmark`] carries GPU RNG state across the whole sweep, so its
+/// results depend on every measurement that came before — fine for a
+/// one-shot calibration, fatal for resume (a run killed mid-sweep could
+/// never rebuild the RNG state it lost). Hash-keyed per-chunk seeds make
+/// every chunk independent: measuring chunks 0..k, dying, and re-measuring
+/// from chunk k yields bitwise-identical samples to a straight-through
+/// sweep.
+#[derive(Debug, Clone)]
+pub struct MicrobenchHarness {
+    device: DeviceSpec,
+    seed: u64,
+    timed_iters: usize,
+    chunk_size: usize,
+}
+
+impl MicrobenchHarness {
+    /// Creates a harness. `chunk_size` is the number of specs measured
+    /// between checkpoints when run under a supervisor.
+    pub fn new(device: &DeviceSpec, seed: u64, timed_iters: usize, chunk_size: usize) -> Self {
+        assert!(timed_iters > 0, "need at least one timed iteration");
+        assert!(chunk_size > 0, "need at least one spec per chunk");
+        MicrobenchHarness { device: device.clone(), seed, timed_iters, chunk_size }
+    }
+
+    /// Number of chunks a sweep over `n_specs` splits into.
+    pub fn chunk_count(&self, n_specs: usize) -> usize {
+        n_specs.div_ceil(self.chunk_size)
+    }
+
+    /// Measures one chunk of the sweep on a fresh, hash-seeded GPU.
+    /// `chunk_index` alone determines the RNG stream, so chunks can be
+    /// measured in any order (or re-measured after a crash) with identical
+    /// results.
+    pub fn measure_chunk(&self, specs: &[KernelSpec], chunk_index: usize) -> Vec<Sample> {
+        let lo = chunk_index * self.chunk_size;
+        let hi = (lo + self.chunk_size).min(specs.len());
+        assert!(lo < specs.len(), "chunk {chunk_index} is out of range");
+        let chunk_seed =
+            derive_seed(self.seed, &[site_key("kernels.microbench"), chunk_index as u64]);
+        let mut gpu = Gpu::with_seed(self.device.clone(), chunk_seed);
+        specs[lo..hi]
+            .iter()
+            .map(|k| {
+                for _ in 0..5 {
+                    let _ = gpu.kernel_time(k); // warm-up
+                }
+                Sample { kernel: k.clone(), time_us: gpu.benchmark(k, self.timed_iters) }
+            })
+            .collect()
+    }
+
+    /// Measures every spec chunk by chunk (the uninterrupted baseline the
+    /// supervised sweep is bitwise-compared against).
+    pub fn measure(&self, specs: &[KernelSpec]) -> Vec<Sample> {
+        (0..self.chunk_count(specs.len()))
+            .flat_map(|c| self.measure_chunk(specs, c))
+            .collect()
+    }
+
+    /// Wraps this harness and a spec list into a [`ResumableJob`] whose
+    /// step measures one chunk.
+    pub fn job<'a>(&'a self, specs: &'a [KernelSpec]) -> MicrobenchJob<'a> {
+        MicrobenchJob { harness: self, specs }
+    }
+
+    /// Runs the sweep under `supervisor`, checkpointing per completed
+    /// chunk.
+    pub fn measure_supervised(
+        &self,
+        specs: &[KernelSpec],
+        supervisor: &mut Supervisor,
+    ) -> (Result<Vec<Sample>, SupervisorError>, RunReport) {
+        supervisor.run(&self.job(specs))
+    }
+}
+
+/// The chunked microbenchmark sweep as a [`ResumableJob`].
+#[derive(Debug)]
+pub struct MicrobenchJob<'a> {
+    harness: &'a MicrobenchHarness,
+    specs: &'a [KernelSpec],
+}
+
+impl ResumableJob for MicrobenchJob<'_> {
+    /// Samples measured so far, in spec order.
+    type State = Vec<Sample>;
+    type Output = Vec<Sample>;
+
+    fn name(&self) -> &str {
+        "kernels.microbench"
+    }
+
+    fn initial_state(&self) -> Vec<Sample> {
+        Vec::new()
+    }
+
+    fn step(&self, state: &mut Vec<Sample>, ctx: &JobContext) -> Result<StepOutcome, JobError> {
+        if self.specs.is_empty() {
+            return Ok(StepOutcome::Done);
+        }
+        let chunk_index = ctx.step as usize;
+        let expected = chunk_index * self.harness.chunk_size;
+        if state.len() != expected {
+            return Err(JobError::Failed(format!(
+                "checkpoint holds {} samples but chunk {chunk_index} starts at {expected}",
+                state.len()
+            )));
+        }
+        state.extend(self.harness.measure_chunk(self.specs, chunk_index));
+        Ok(if state.len() == self.specs.len() { StepOutcome::Done } else { StepOutcome::Continue })
+    }
+
+    fn finish(&self, state: Vec<Sample>) -> Vec<Sample> {
+        state
     }
 }
 
@@ -224,5 +350,39 @@ mod tests {
     #[should_panic(expected = "timed iteration")]
     fn zero_iters_panics() {
         Microbenchmark::new(&DeviceSpec::v100(), 0, 0);
+    }
+
+    #[test]
+    fn harness_chunks_are_order_independent() {
+        let harness = MicrobenchHarness::new(&DeviceSpec::v100(), 9, 5, 4);
+        let specs = gemm_specs(10, 3);
+        assert_eq!(harness.chunk_count(specs.len()), 3);
+        let straight = harness.measure(&specs);
+        assert_eq!(straight.len(), 10);
+        // Re-measuring any chunk in isolation reproduces its samples bitwise.
+        for c in (0..3).rev() {
+            let again = harness.measure_chunk(&specs, c);
+            let lo = c * 4;
+            for (a, b) in again.iter().zip(&straight[lo..]) {
+                assert_eq!(a.kernel, b.kernel);
+                assert_eq!(a.time_us.to_bits(), b.time_us.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn supervised_sweep_matches_straight_sweep_bitwise() {
+        let harness = MicrobenchHarness::new(&DeviceSpec::v100(), 17, 5, 3);
+        let specs = gemm_specs(8, 5);
+        let straight = harness.measure(&specs);
+        let mut sup =
+            dlperf_runtime::Supervisor::new(dlperf_runtime::SupervisorConfig::default());
+        let (out, report) = harness.measure_supervised(&specs, &mut sup);
+        let supervised = out.expect("supervised sweep completes");
+        assert_eq!(report.steps_run, 3, "ceil(8/3) chunks");
+        assert_eq!(supervised.len(), straight.len());
+        for (a, b) in supervised.iter().zip(&straight) {
+            assert_eq!(a.time_us.to_bits(), b.time_us.to_bits());
+        }
     }
 }

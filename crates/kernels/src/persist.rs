@@ -6,17 +6,72 @@
 //! the Prediction Track". [`RegistryBundle`] is the serializable form of a
 //! calibrated [`ModelRegistry`]: save it once per device, reload in
 //! milliseconds.
+//!
+//! Saved bundles are untrusted input when they come back: files get
+//! truncated by interrupted copies, hand-edited, or produced by an older
+//! build. Bundles therefore travel inside the `dlperf-runtime` snapshot
+//! envelope — schema name, format version, FNV-1a payload checksum — and
+//! [`RegistryBundle::from_json`] refuses anything that does not verify,
+//! with a typed [`PersistError`] saying exactly what was wrong.
 
 use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
 use dlperf_gpusim::{DeviceSpec, KernelFamily};
+use dlperf_runtime::SnapshotError;
 
 use crate::heuristic::embedding::EmbeddingModel;
 use crate::heuristic::roofline::RooflineModel;
 use crate::mlbased::MlKernelModel;
 use crate::registry::ModelRegistry;
+
+/// Schema name bundles are sealed under.
+pub const BUNDLE_SCHEMA: &str = "dlperf.registry-bundle";
+/// Current bundle format version. Version 1 was the bare (envelope-less)
+/// JSON written before checksums existed; see
+/// [`RegistryBundle::from_json`] for how it is still accepted.
+pub const BUNDLE_VERSION: u32 = 2;
+
+/// Why a bundle could not be saved or loaded.
+#[derive(Debug)]
+pub enum PersistError {
+    /// The file failed schema/version/checksum verification or did not
+    /// parse (truncation, corruption, incompatible build).
+    Snapshot(SnapshotError),
+    /// Reading or writing the bundle file failed.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Snapshot(e) => write!(f, "bundle rejected: {e}"),
+            PersistError::Io(e) => write!(f, "bundle I/O failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Snapshot(e) => Some(e),
+            PersistError::Io(e) => Some(e),
+        }
+    }
+}
+
+impl From<SnapshotError> for PersistError {
+    fn from(e: SnapshotError) -> Self {
+        PersistError::Snapshot(e)
+    }
+}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
 
 /// A serializable snapshot of every model a calibrated registry holds.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -59,30 +114,54 @@ impl RegistryBundle {
         reg
     }
 
-    /// Serializes the bundle to JSON.
+    /// Serializes the bundle into a sealed, checksummed envelope.
     pub fn to_json(&self) -> String {
-        serde_json::to_string(self).expect("bundle serialization cannot fail")
+        dlperf_runtime::seal(BUNDLE_SCHEMA, BUNDLE_VERSION, self)
+            .expect("bundle serialization cannot fail")
     }
 
-    /// Deserializes a bundle from JSON.
-    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
-        serde_json::from_str(s)
+    /// Deserializes a bundle, verifying schema, version, and checksum.
+    ///
+    /// Version-1 files (bare JSON written before the envelope existed) are
+    /// still accepted: anything that is valid JSON but not an envelope is
+    /// retried as a legacy bare bundle.
+    ///
+    /// # Errors
+    /// A typed [`PersistError::Snapshot`] naming the failure: parse error
+    /// (truncated file), schema mismatch (not a bundle), version mismatch
+    /// (incompatible build), or checksum mismatch (corruption).
+    pub fn from_json(s: &str) -> Result<Self, PersistError> {
+        match dlperf_runtime::open(BUNDLE_SCHEMA, BUNDLE_VERSION, s) {
+            Ok(bundle) => Ok(bundle),
+            // A legacy bare bundle parses as JSON but has no envelope
+            // fields; only that specific shape falls through.
+            Err(SnapshotError::Parse(_)) => {
+                serde_json::from_str(s).map_err(|e| SnapshotError::Parse(e).into())
+            }
+            Err(e) => Err(e.into()),
+        }
     }
 
-    /// Saves the bundle to a file.
+    /// Saves the sealed bundle to a file, atomically (temp file + rename),
+    /// so an interrupted save never leaves a truncated bundle behind.
     ///
     /// # Errors
     /// Propagates I/O errors.
-    pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
-        std::fs::write(path, self.to_json())
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> Result<(), PersistError> {
+        let path = path.as_ref();
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, self.to_json())?;
+        std::fs::rename(&tmp, path)?;
+        Ok(())
     }
 
-    /// Loads a bundle from a file.
+    /// Loads and verifies a bundle from a file.
     ///
     /// # Errors
-    /// Propagates I/O and parse errors.
-    pub fn load(path: impl AsRef<std::path::Path>) -> Result<Self, Box<dyn std::error::Error>> {
-        Ok(Self::from_json(&std::fs::read_to_string(path)?)?)
+    /// [`PersistError::Io`] if the file cannot be read,
+    /// [`PersistError::Snapshot`] if it fails verification.
+    pub fn load(path: impl AsRef<std::path::Path>) -> Result<Self, PersistError> {
+        Self::from_json(&std::fs::read_to_string(path)?)
     }
 }
 
@@ -123,5 +202,59 @@ mod tests {
         let loaded = RegistryBundle::load(&path).unwrap();
         assert_eq!(loaded.device.name, "Tesla P100");
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn truncated_bundle_is_a_typed_error() {
+        let bundle =
+            ModelRegistry::calibrate_bundle(&DeviceSpec::v100(), CalibrationEffort::Quick, 5);
+        let json = bundle.to_json();
+        match RegistryBundle::from_json(&json[..json.len() / 3]) {
+            Err(PersistError::Snapshot(SnapshotError::Parse(_))) => {}
+            other => panic!("expected Snapshot(Parse), got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupted_bundle_fails_the_checksum() {
+        let bundle =
+            ModelRegistry::calibrate_bundle(&DeviceSpec::v100(), CalibrationEffort::Quick, 5);
+        let json = bundle.to_json();
+        // Damage the payload without breaking the JSON structure.
+        let corrupted = json.replacen("Tesla V100", "Tesla X100", 1);
+        assert_ne!(json, corrupted, "corruption must land");
+        match RegistryBundle::from_json(&corrupted) {
+            Err(PersistError::Snapshot(SnapshotError::ChecksumMismatch { .. })) => {}
+            other => panic!("expected ChecksumMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wrong_version_is_rejected_with_the_found_version() {
+        let bundle =
+            ModelRegistry::calibrate_bundle(&DeviceSpec::v100(), CalibrationEffort::Quick, 5);
+        let json = bundle.to_json();
+        let future = json.replacen(
+            &format!("\"version\":{BUNDLE_VERSION}"),
+            &format!("\"version\":{}", BUNDLE_VERSION + 1),
+            1,
+        );
+        assert_ne!(json, future);
+        match RegistryBundle::from_json(&future) {
+            Err(PersistError::Snapshot(SnapshotError::VersionMismatch { found, .. })) => {
+                assert_eq!(found, BUNDLE_VERSION + 1);
+            }
+            other => panic!("expected VersionMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn legacy_bare_bundle_still_loads() {
+        let bundle =
+            ModelRegistry::calibrate_bundle(&DeviceSpec::v100(), CalibrationEffort::Quick, 5);
+        // What `to_json` produced before the envelope existed.
+        let legacy = serde_json::to_string(&bundle).unwrap();
+        let loaded = RegistryBundle::from_json(&legacy).expect("legacy bundles remain readable");
+        assert_eq!(loaded.device.name, bundle.device.name);
     }
 }

@@ -8,13 +8,18 @@
 //! `crossbeam`.
 
 use crossbeam::channel;
+use serde::{Deserialize, Serialize};
+
+use dlperf_runtime::{
+    JobContext, JobError, ResumableJob, RunReport, StepOutcome, Supervisor, SupervisorError,
+};
 
 use crate::dataset::Dataset;
 use crate::optim::OptimizerKind;
 use crate::train::{train, TrainConfig, TrainedModel};
 
 /// One point of the hyperparameter grid.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct HyperParams {
     /// Number of hidden layers.
     pub num_layers: usize,
@@ -146,6 +151,110 @@ pub fn grid_search(
     SearchResult { best, model, trials }
 }
 
+/// The grid search as a checkpointable [`ResumableJob`]: one step trains
+/// one configuration.
+///
+/// Each configuration trains with the independent seed
+/// `seed.wrapping_add(i)` — exactly the seeds [`grid_search`] hands its
+/// worker threads — so the supervised search produces bitwise-identical
+/// trials to the unsupervised one regardless of where (or whether) a kill
+/// and resume happened.
+#[derive(Debug)]
+pub struct GridSearchJob<'a> {
+    data: &'a Dataset,
+    configs: Vec<HyperParams>,
+    epochs: usize,
+    seed: u64,
+}
+
+impl<'a> GridSearchJob<'a> {
+    /// A job covering every configuration of `space`.
+    ///
+    /// # Panics
+    /// Panics if the space or the dataset is empty, mirroring
+    /// [`grid_search`].
+    pub fn new(data: &'a Dataset, space: &SearchSpace, epochs: usize, seed: u64) -> Self {
+        let configs = space.configurations();
+        assert!(!configs.is_empty(), "empty search space");
+        GridSearchJob { data, configs, epochs, seed }
+    }
+
+    /// Number of configurations (= steps) in the job.
+    pub fn len(&self) -> usize {
+        self.configs.len()
+    }
+
+    /// Whether the job has no configurations (never true: `new` rejects
+    /// empty spaces).
+    pub fn is_empty(&self) -> bool {
+        self.configs.is_empty()
+    }
+}
+
+impl ResumableJob for GridSearchJob<'_> {
+    /// Completed trials, in configuration order: `(config, fitted model)`.
+    type State = Vec<(HyperParams, TrainedModel)>;
+    type Output = SearchResult;
+
+    fn name(&self) -> &str {
+        "nn.grid-search"
+    }
+
+    fn initial_state(&self) -> Self::State {
+        Vec::new()
+    }
+
+    fn step(&self, state: &mut Self::State, ctx: &JobContext) -> Result<StepOutcome, JobError> {
+        let i = state.len();
+        let hp = self.configs.get(i).cloned().ok_or_else(|| {
+            JobError::Failed(format!(
+                "checkpoint has {i} trials but the space has only {} configurations",
+                self.configs.len()
+            ))
+        })?;
+        debug_assert_eq!(ctx.step as usize, i, "one step per configuration");
+        let cfg = TrainConfig {
+            hidden_layers: hp.num_layers,
+            width: hp.width,
+            optimizer: hp.optimizer,
+            learning_rate: hp.learning_rate,
+            epochs: self.epochs,
+            ..TrainConfig::default()
+        };
+        let model = train(self.data, &cfg, self.seed.wrapping_add(i as u64));
+        state.push((hp, model));
+        Ok(if state.len() == self.configs.len() {
+            StepOutcome::Done
+        } else {
+            StepOutcome::Continue
+        })
+    }
+
+    fn finish(&self, state: Self::State) -> SearchResult {
+        let trials: Vec<(HyperParams, f64)> =
+            state.iter().map(|(hp, m)| (hp.clone(), m.val_mape)).collect();
+        let (best, model) = state
+            .into_iter()
+            .min_by(|a, b| a.1.val_mape.total_cmp(&b.1.val_mape))
+            .expect("grid-search jobs always have at least one configuration");
+        SearchResult { best, model, trials }
+    }
+}
+
+/// Runs the grid search under `supervisor`: progress is checkpointed per
+/// completed configuration, worker panics are contained and retried, and a
+/// killed process resumes from its last snapshot with bitwise-identical
+/// results.
+pub fn grid_search_supervised(
+    data: &Dataset,
+    space: &SearchSpace,
+    epochs: usize,
+    seed: u64,
+    supervisor: &mut Supervisor,
+) -> (Result<SearchResult, SupervisorError>, RunReport) {
+    supervisor.run(&GridSearchJob::new(data, space, epochs, seed))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -188,5 +297,27 @@ mod tests {
     #[should_panic(expected = "at least one worker")]
     fn zero_threads_panics() {
         grid_search(&synthetic(), &SearchSpace::reduced(), 1, 0, 0);
+    }
+
+    #[test]
+    fn supervised_search_matches_threaded_search_bitwise() {
+        let data = synthetic();
+        let space = SearchSpace {
+            layers: vec![3],
+            widths: vec![16, 32],
+            optimizers: vec![OptimizerKind::Adam],
+            learning_rates: vec![1e-3],
+        };
+        let plain = grid_search(&data, &space, 40, 2, 7);
+        let mut sup = Supervisor::new(dlperf_runtime::SupervisorConfig::default());
+        let (res, report) = grid_search_supervised(&data, &space, 40, 7, &mut sup);
+        let res = res.expect("supervised search completes");
+        assert_eq!(report.steps_run, 2);
+        assert_eq!(res.best, plain.best);
+        assert_eq!(res.model.val_mape.to_bits(), plain.model.val_mape.to_bits());
+        for ((hp_a, e_a), (hp_b, e_b)) in res.trials.iter().zip(&plain.trials) {
+            assert_eq!(hp_a, hp_b);
+            assert_eq!(e_a.to_bits(), e_b.to_bits(), "per-trial error must match bitwise");
+        }
     }
 }

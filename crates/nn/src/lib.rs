@@ -45,7 +45,9 @@ pub mod preprocess;
 pub mod train;
 
 pub use dataset::Dataset;
-pub use gridsearch::{grid_search, HyperParams, SearchSpace};
+pub use gridsearch::{
+    grid_search, grid_search_supervised, GridSearchJob, HyperParams, SearchSpace,
+};
 pub use matrix::Matrix;
 pub use net::Mlp;
 pub use optim::OptimizerKind;

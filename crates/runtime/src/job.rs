@@ -1,0 +1,114 @@
+//! The resumable-job abstraction.
+//!
+//! A [`ResumableJob`] factors a long-running computation into a serializable
+//! `State` advanced one *step* at a time. The step is the checkpoint
+//! granularity: the supervisor may snapshot the state after any step and
+//! rebuild it from the snapshot after a crash, so steps must be
+//! deterministic functions of `(job, state)` — any randomness keyed by a
+//! stateless hash of the step index, never by a stateful RNG carried
+//! between steps (the `dlperf-faults` determinism scheme). That is the
+//! property that makes a killed-and-resumed run bitwise identical to an
+//! uninterrupted one.
+
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+
+use crate::token::CancellationToken;
+
+/// What one step of a job reported.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// More steps remain.
+    Continue,
+    /// The job is complete; `finish` may be called on the state.
+    Done,
+}
+
+/// Why a job step could not proceed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobError {
+    /// The run-level token was cancelled (run deadline or external cancel).
+    Cancelled,
+    /// The attempt-level token was cancelled: the hang watchdog fired. The
+    /// supervisor restarts the attempt from the last checkpoint.
+    AttemptTimedOut,
+    /// The worker was killed (e.g. an injected chaos fault). The supervisor
+    /// restarts from the last checkpoint.
+    Killed,
+    /// A typed, non-retryable failure: retrying would fail identically.
+    Failed(String),
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobError::Cancelled => write!(f, "job cancelled"),
+            JobError::AttemptTimedOut => write!(f, "attempt timed out (hang watchdog)"),
+            JobError::Killed => write!(f, "worker killed"),
+            JobError::Failed(why) => write!(f, "job failed: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
+/// Per-step execution context handed to [`ResumableJob::step`].
+#[derive(Debug)]
+pub struct JobContext {
+    pub(crate) run_token: CancellationToken,
+    pub(crate) attempt_token: CancellationToken,
+    /// Index of the step being executed (0-based, monotonic across resumes).
+    pub step: u64,
+    /// Attempt number (1 = first try).
+    pub attempt: u32,
+}
+
+impl JobContext {
+    /// Polls both cancellation levels; long steps should call this at
+    /// convenient internal boundaries.
+    ///
+    /// # Errors
+    /// [`JobError::Cancelled`] if the run token fired,
+    /// [`JobError::AttemptTimedOut`] if only the attempt token fired.
+    pub fn check_cancelled(&self) -> Result<(), JobError> {
+        if self.run_token.is_cancelled() {
+            Err(JobError::Cancelled)
+        } else if self.attempt_token.is_cancelled() {
+            Err(JobError::AttemptTimedOut)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Whether either cancellation level has fired.
+    pub fn is_cancelled(&self) -> bool {
+        self.run_token.is_cancelled() || self.attempt_token.is_cancelled()
+    }
+}
+
+/// A checkpointable unit of long-running work.
+pub trait ResumableJob {
+    /// Serializable progress. Everything a resume needs must live here.
+    type State: Serialize + DeserializeOwned;
+    /// The final product assembled from a completed state.
+    type Output;
+
+    /// Stable job name: names the checkpoint schema and keys injected
+    /// worker faults, so it should not vary between runs of the same job.
+    fn name(&self) -> &str;
+
+    /// The state before any step has run.
+    fn initial_state(&self) -> Self::State;
+
+    /// Advances the state by one unit of work. Must be deterministic given
+    /// `(self, state)`; `ctx.step` is the unit's index for hash-keyed
+    /// seeding.
+    ///
+    /// # Errors
+    /// [`JobError`] to stop (cancellation, typed failure); panics are
+    /// caught and retried by the supervisor.
+    fn step(&self, state: &mut Self::State, ctx: &JobContext) -> Result<StepOutcome, JobError>;
+
+    /// Builds the output from a completed state.
+    fn finish(&self, state: Self::State) -> Self::Output;
+}

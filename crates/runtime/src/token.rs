@@ -1,0 +1,124 @@
+//! Cooperative cancellation and wall-clock deadlines.
+//!
+//! The runtime never kills a worker thread preemptively — Rust offers no
+//! safe way to do that. Instead every supervised job receives a
+//! [`CancellationToken`] and is expected to poll it between units of work;
+//! a [`Watchdog`] thread flips the token when a wall-clock deadline
+//! expires, which is what turns a hang into a bounded failure.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A shareable cancellation flag. Cloning yields another handle to the
+/// same flag; cancellation is one-way and permanent.
+#[derive(Debug, Clone, Default)]
+pub struct CancellationToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancellationToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation. Idempotent.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::SeqCst)
+    }
+}
+
+/// A watchdog thread that cancels a token when a deadline passes.
+///
+/// Dropping the watchdog disarms it (the thread exits promptly without
+/// cancelling), so scoping the watchdog to an attempt gives per-attempt
+/// hang detection while a longer-lived watchdog bounds the whole run.
+#[derive(Debug)]
+pub struct Watchdog {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Watchdog {
+    /// Arms a watchdog: after `deadline` elapses, `token` is cancelled.
+    pub fn arm(token: CancellationToken, deadline: Duration) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = stop.clone();
+        let handle = std::thread::spawn(move || {
+            let due = Instant::now() + deadline;
+            loop {
+                if stop2.load(Ordering::SeqCst) {
+                    return;
+                }
+                let now = Instant::now();
+                if now >= due {
+                    token.cancel();
+                    return;
+                }
+                // Short sleeps keep disarm latency low without burning CPU.
+                std::thread::sleep((due - now).min(Duration::from_millis(5)));
+            }
+        });
+        Watchdog { stop, handle: Some(handle) }
+    }
+
+    /// Disarms the watchdog without cancelling the token.
+    pub fn disarm(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Watchdog {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_starts_clear_and_cancels_once() {
+        let t = CancellationToken::new();
+        assert!(!t.is_cancelled());
+        let t2 = t.clone();
+        t2.cancel();
+        assert!(t.is_cancelled(), "clones share the flag");
+        t.cancel(); // idempotent
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn watchdog_fires_after_deadline() {
+        let t = CancellationToken::new();
+        let _w = Watchdog::arm(t.clone(), Duration::from_millis(10));
+        let start = Instant::now();
+        while !t.is_cancelled() {
+            assert!(start.elapsed() < Duration::from_secs(5), "watchdog never fired");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    #[test]
+    fn disarmed_watchdog_never_fires() {
+        let t = CancellationToken::new();
+        let w = Watchdog::arm(t.clone(), Duration::from_millis(20));
+        w.disarm();
+        std::thread::sleep(Duration::from_millis(40));
+        assert!(!t.is_cancelled());
+    }
+}

@@ -36,7 +36,7 @@ pub const PROFILER_GPU_ACTUAL_US: f64 = 4.3;
 /// failure channel per workload: a malformed graph (or a fault scenario
 /// that drives a time non-finite) is reported instead of aborting the
 /// process, so multi-workload analyses can skip the offender and continue.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub enum EngineError {
     /// The graph failed to lower to kernels (inconsistent tensor shapes).
     Lower(LowerError),

@@ -140,6 +140,24 @@ impl OverheadStats {
         OverheadStats { per_op, per_type }
     }
 
+    /// Like [`OverheadStats::extract`], but for traces that did not come
+    /// out of a live engine — trace files are untrusted input, and a single
+    /// non-finite timestamp would otherwise poison every downstream mean
+    /// silently. Each trace is validated first and failures are typed,
+    /// naming the offending trace.
+    ///
+    /// # Errors
+    /// [`TraceLoadError::Invalid`] naming the first trace (by index and
+    /// workload) whose timing content fails [`Trace::validate`].
+    pub fn try_extract(traces: &[Trace], profiled: bool) -> Result<Self, TraceLoadError> {
+        for (i, t) in traces.iter().enumerate() {
+            t.validate().map_err(|e| {
+                TraceLoadError::Invalid(format!("trace {i} (`{}`): {e}", t.workload))
+            })?;
+        }
+        Ok(Self::extract(traces, profiled))
+    }
+
     /// The stat of one (op type, overhead type) cell, if observed.
     pub fn get(&self, op_key: &str, ty: OverheadType) -> Option<OverheadStat> {
         self.per_op.get(op_key).and_then(|m| m.get(&ty)).copied()
@@ -358,6 +376,35 @@ mod tests {
         match OverheadStats::from_json(&poisoned.to_json()) {
             Err(TraceLoadError::Invalid(why)) => {
                 assert!(why.contains("T1"), "error should name the cell: {why}")
+            }
+            other => panic!("expected Invalid error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn try_extract_rejects_poisoned_traces_with_typed_error() {
+        let g = DlrmConfig {
+            rows_per_table: vec![10_000; 4],
+            ..DlrmConfig::default_config(128)
+        }
+        .build();
+        let mut e = ExecutionEngine::new(DeviceSpec::v100(), 39);
+        let runs = e.run_iterations(&g, 3).unwrap();
+        let mut traces: Vec<Trace> = runs.into_iter().map(|r| r.trace).collect();
+
+        // Clean traces extract identically through both entry points.
+        let checked = OverheadStats::try_extract(&traces, true).unwrap();
+        let unchecked = OverheadStats::extract(&traces, true);
+        assert_eq!(
+            checked.mean_us("aten::addmm", OverheadType::T1),
+            unchecked.mean_us("aten::addmm", OverheadType::T1)
+        );
+
+        // One NaN timestamp in the middle trace is caught and named.
+        traces[1].events[0].ts_us = f64::NAN;
+        match OverheadStats::try_extract(&traces, true) {
+            Err(TraceLoadError::Invalid(why)) => {
+                assert!(why.contains("trace 1"), "error should name the trace: {why}");
             }
             other => panic!("expected Invalid error, got {other:?}"),
         }

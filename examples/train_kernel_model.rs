@@ -1,25 +1,34 @@
 //! Train an ML-based kernel performance model the way the paper does:
 //! microbenchmark sweep → Table II grid search → evaluate GMAE on a
-//! held-out sweep.
+//! held-out sweep. The sweep runs through the chunked [`MicrobenchHarness`]
+//! and the search under a [`Supervisor`], so both stages checkpoint their
+//! progress and every fallible call propagates a typed error — nothing in
+//! this example panics on bad input.
 //!
 //! Run with `cargo run --release --example train_kernel_model`.
 //! Pass `--full-grid` to search the complete 280-configuration Table II
 //! space instead of the reduced one (slow).
 
+use std::error::Error;
+
 use dlrm_perf_model::gpusim::DeviceSpec;
 use dlrm_perf_model::kernels::error::ErrorStats;
-use dlrm_perf_model::kernels::microbench::{gemm_specs, Microbenchmark};
+use dlrm_perf_model::kernels::microbench::{gemm_specs, MicrobenchHarness};
 use dlrm_perf_model::kernels::mlbased::{dataset_of, features, MlKernelModel};
-use dlrm_perf_model::nn::gridsearch::{grid_search, SearchSpace};
+use dlrm_perf_model::nn::gridsearch::{grid_search_supervised, SearchSpace};
+use dlrm_perf_model::runtime::{Supervisor, SupervisorConfig};
 
-fn main() {
+fn main() -> Result<(), Box<dyn Error>> {
     let full = std::env::args().any(|a| a == "--full-grid");
     let device = DeviceSpec::v100();
 
     println!("sweeping {} GEMM shapes on {} ...", 600, device.name);
-    let mut mb = Microbenchmark::new(&device, 1, 15);
-    let train_samples = mb.measure(&gemm_specs(600, 10));
-    let eval_samples = mb.measure(&gemm_specs(150, 999));
+    let harness = MicrobenchHarness::new(&device, 1, 15, 64);
+    let mut sup = Supervisor::new(SupervisorConfig::default());
+    let (train_samples, report) = harness.measure_supervised(&gemm_specs(600, 10), &mut sup);
+    let train_samples = train_samples?;
+    println!("  {}", report.summary());
+    let eval_samples = harness.measure(&gemm_specs(150, 999));
 
     let space = if full { SearchSpace::paper() } else { SearchSpace::reduced() };
     println!(
@@ -27,8 +36,9 @@ fn main() {
         space.configurations().len()
     );
     let data = dataset_of(&train_samples);
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
-    let result = grid_search(&data, &space, 120, threads, 42);
+    let (result, report) = grid_search_supervised(&data, &space, 120, 42, &mut sup);
+    let result = result?;
+    println!("  {}", report.summary());
 
     println!("\nbest configuration: {:?}", result.best);
     println!("validation MAPE: {:.2}%", result.model.val_mape * 100.0);
@@ -55,7 +65,8 @@ fn main() {
     let model = MlKernelModel::train(&train_samples, &cfg, 7);
     let preds: Vec<f64> = eval_samples.iter().map(|s| model.predict(&s.kernel)).collect();
     let actual: Vec<f64> = eval_samples.iter().map(|s| s.time_us).collect();
-    let stats = ErrorStats::try_from_pairs(&preds, &actual).expect("held-out samples are well-formed");
+    let stats = ErrorStats::try_from_pairs(&preds, &actual)?;
     println!("\nheld-out evaluation: {stats}");
     println!("feature vector of a 1024x1024x1024 GEMM: {:?}", features(&eval_samples[0].kernel));
+    Ok(())
 }

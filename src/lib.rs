@@ -23,7 +23,8 @@
 //! | [`kernels`] | kernel performance models: heuristic embedding + roofline, ML-based GEMM/transpose/tril/conv |
 //! | [`core`] | Algorithm 1 E2E predictor, the Fig. 3 pipeline, baselines, co-design tools |
 //! | [`distrib`] | multi-GPU hybrid-parallel DLRM: collectives, lockstep cluster engine, distributed predictor |
-//! | [`faults`] | deterministic fault injection (stragglers, thermal throttling, flaky collectives) and the graceful-degradation contracts |
+//! | [`faults`] | deterministic fault injection (stragglers, thermal throttling, flaky collectives, worker kill/panic/hang) and the graceful-degradation contracts |
+//! | [`runtime`] | supervised runtime: checkpoint/resume jobs, deadlines, panic-isolated workers with restart budgets |
 //!
 //! ## Quickstart
 //!
@@ -51,4 +52,5 @@ pub use dlperf_graph as graph;
 pub use dlperf_kernels as kernels;
 pub use dlperf_models as models;
 pub use dlperf_nn as nn;
+pub use dlperf_runtime as runtime;
 pub use dlperf_trace as trace;

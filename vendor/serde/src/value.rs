@@ -407,13 +407,19 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Consume one UTF-8 scalar.
-                    let rest = &self.bytes[self.pos..];
-                    let s_rest = std::str::from_utf8(rest)
+                    // Consume the whole run up to the next quote or escape
+                    // in one slice: validating per-chunk instead of
+                    // re-validating the full remaining input per character
+                    // keeps large embedded strings (checkpoint payloads)
+                    // linear. Multi-byte UTF-8 units are all >= 0x80, so
+                    // scanning for the two ASCII delimiters is safe.
+                    let start = self.pos;
+                    while self.peek().is_some_and(|b| b != b'"' && b != b'\\') {
+                        self.pos += 1;
+                    }
+                    let chunk = std::str::from_utf8(&self.bytes[start..self.pos])
                         .map_err(|_| DeError::new("invalid UTF-8 in string"))?;
-                    let c = s_rest.chars().next().unwrap();
-                    s.push(c);
-                    self.pos += c.len_utf8();
+                    s.push_str(chunk);
                 }
             }
         }
