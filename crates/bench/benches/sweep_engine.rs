@@ -1,0 +1,120 @@
+//! **Sweep engine** — throughput of the parallel what-if sweep, with the
+//! memo cache's contribution broken out, emitting `BENCH_sweep.json`.
+//!
+//! Three runs over the same scenario matrix, all bitwise identical by the
+//! engine's determinism contract (asserted here, not assumed):
+//!
+//! * `seq_uncached` — one thread, memo cache off: the naive baseline.
+//! * `seq_cached` — one thread, cold memo cache: memoization alone.
+//! * `par_cached` — N threads, cold memo cache: the engine as shipped.
+//!
+//! The headline `speedup` is `seq_uncached / par_cached`. On a multi-core
+//! host it compounds thread-level parallelism with memoization; on a
+//! single-core host it is memoization alone (the JSON records
+//! `host_threads` so readers can attribute it).
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use dlperf_bench::header;
+use dlperf_core::pipeline::Pipeline;
+use dlperf_core::sweep::{GraphMutation, ScenarioMatrix, SweepEngine, SweepOutcome};
+use dlperf_gpusim::DeviceSpec;
+use dlperf_kernels::ModelRegistry;
+use dlperf_models::DlrmConfig;
+
+fn fingerprint(o: &SweepOutcome) -> Vec<Option<u64>> {
+    o.expect_complete()
+        .iter()
+        .map(|r| r.prediction.as_ref().map(|p| p.e2e_us.to_bits()))
+        .collect()
+}
+
+fn main() {
+    header("Sweep engine: parallel what-if matrix with memoized kernel models");
+    let base = DlrmConfig {
+        rows_per_table: vec![200_000; 8],
+        batched_embedding: false,
+        ..DlrmConfig::default_config(512)
+    }
+    .build();
+
+    let effort = dlperf_bench::effort();
+    let pipelines: Vec<Pipeline> = DeviceSpec::paper_devices()
+        .iter()
+        .map(|d| {
+            let registry = ModelRegistry::calibrate(d, effort, 71);
+            Pipeline::analyze_with_registry(d, std::slice::from_ref(&base), registry, 10, 71)
+        })
+        .collect();
+
+    let scenarios = ScenarioMatrix::new()
+        .device("V100", 0)
+        .device("TITANXp", 1)
+        .device("P100", 2)
+        .batches(&[128, 256, 512, 1024, 2048, 4096])
+        .variant("base", vec![])
+        .variant("fused", vec![GraphMutation::FuseEmbeddingBags])
+        .variant("hoisted", vec![GraphMutation::HoistAll])
+        .build();
+    println!("{} scenarios, {} pipelines\n", scenarios.len(), 3);
+
+    let host_threads =
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let sweep_threads = host_threads.max(4);
+
+    let run = |threads: usize, cache: bool| -> SweepOutcome {
+        let eng = SweepEngine::new(pipelines.clone()).with_threads(threads).with_cache(cache);
+        let t0 = Instant::now();
+        let mut out = eng.run(&base, &scenarios);
+        out.wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        out
+    };
+
+    let seq_uncached = run(1, false);
+    let seq_cached = run(1, true);
+    let par_cached = run(sweep_threads, true);
+
+    assert_eq!(
+        fingerprint(&seq_uncached),
+        fingerprint(&par_cached),
+        "parallel+cached sweep must be bitwise identical to sequential uncached"
+    );
+    assert_eq!(fingerprint(&seq_uncached), fingerprint(&seq_cached));
+
+    let stats = par_cached.cache.expect("cache enabled");
+    let memo_speedup = seq_uncached.wall_ms / seq_cached.wall_ms;
+    let speedup = seq_uncached.wall_ms / par_cached.wall_ms;
+
+    println!("{:>28} {:>10} {:>9}", "run", "wall/ms", "speedup");
+    println!("{:>28} {:>10.1} {:>8.2}x", "sequential, no cache", seq_uncached.wall_ms, 1.0);
+    println!("{:>28} {:>10.1} {:>8.2}x", "sequential, memo cache", seq_cached.wall_ms, memo_speedup);
+    println!(
+        "{:>28} {:>10.1} {:>8.2}x",
+        format!("{} threads, memo cache", sweep_threads),
+        par_cached.wall_ms,
+        speedup
+    );
+    println!("\ncache: {stats}");
+    println!("host threads: {host_threads}");
+
+    let mut doc: BTreeMap<String, String> = BTreeMap::new();
+    doc.insert("scenarios".into(), scenarios.len().to_string());
+    doc.insert("sweep_threads".into(), sweep_threads.to_string());
+    doc.insert("host_threads".into(), host_threads.to_string());
+    doc.insert("seq_uncached_ms".into(), format!("{:.3}", seq_uncached.wall_ms));
+    doc.insert("seq_cached_ms".into(), format!("{:.3}", seq_cached.wall_ms));
+    doc.insert("par_cached_ms".into(), format!("{:.3}", par_cached.wall_ms));
+    doc.insert("memo_speedup".into(), format!("{memo_speedup:.3}"));
+    doc.insert("speedup".into(), format!("{speedup:.3}"));
+    doc.insert("cache_hits".into(), stats.hits.to_string());
+    doc.insert("cache_misses".into(), stats.misses.to_string());
+    doc.insert("cache_hit_rate".into(), format!("{:.4}", stats.hit_rate()));
+    doc.insert("bitwise_identical".into(), "true".into());
+
+    let path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../BENCH_sweep.json");
+    std::fs::write(&path, serde_json::to_string(&doc).expect("serializes"))
+        .expect("write BENCH_sweep.json");
+    println!("\nwrote {}", path.canonicalize().unwrap_or(path).display());
+}

@@ -39,7 +39,12 @@ pub mod codesign;
 pub mod pipeline;
 pub mod predictor;
 pub mod report;
+pub mod sweep;
 
 pub use pipeline::{AnalysisJob, AnalysisReport, AnalysisState, Pipeline, PipelineError};
 pub use predictor::{E2ePredictor, OverheadGranularity, Prediction, T4Policy};
 pub use report::{ErrorSummary, PredictionRow};
+pub use sweep::{
+    par_map, GraphMutation, Scenario, ScenarioMatrix, ScenarioResult, SweepEngine, SweepOutcome,
+    SweepState,
+};

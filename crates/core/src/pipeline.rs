@@ -324,6 +324,20 @@ impl Pipeline {
         self.predictor.predict(graph)
     }
 
+    /// Predicts with the shared overhead database, answering kernel-model
+    /// queries from `cache` (which must be dedicated to this pipeline —
+    /// cache keys do not include the device).
+    ///
+    /// # Errors
+    /// Returns a [`LowerError`] on malformed graphs.
+    pub fn predict_memoized(
+        &self,
+        graph: &Graph,
+        cache: &dlperf_kernels::MemoCache,
+    ) -> Result<Prediction, LowerError> {
+        self.predictor.predict_memoized(graph, cache)
+    }
+
     /// Predicts with the workload's individual overheads when available,
     /// falling back to shared.
     ///

@@ -17,8 +17,10 @@ use std::collections::HashMap;
 
 use dlperf_graph::lower::{self, LowerError};
 use dlperf_graph::{Graph, TensorId};
-use dlperf_kernels::{Confidence, ModelRegistry};
+use dlperf_gpusim::KernelSpec;
+use dlperf_kernels::{Confidence, MemoCache, ModelRegistry};
 use dlperf_trace::{OverheadStats, OverheadType};
+use serde::{Deserialize, Serialize};
 
 /// How T4 (CUDA runtime call time) is priced.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -40,7 +42,11 @@ pub enum OverheadGranularity {
 }
 
 /// Output of one prediction.
-#[derive(Debug, Clone, Copy, PartialEq)]
+///
+/// Serializable so sweep checkpoints and golden snapshots can carry
+/// predictions verbatim (every field round-trips bitwise through the
+/// vendored JSON layer).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Prediction {
     /// Predicted E2E per-batch training time (µs).
     pub e2e_us: f64,
@@ -159,6 +165,31 @@ impl E2ePredictor {
     /// # Errors
     /// Returns a [`LowerError`] if an op's tensor shapes are inconsistent.
     pub fn predict(&self, graph: &Graph) -> Result<Prediction, LowerError> {
+        self.predict_with(graph, |k| self.registry.predict_with_confidence(k))
+    }
+
+    /// Like [`E2ePredictor::predict`], but answering kernel-model queries
+    /// from `cache` when possible (see [`MemoCache`] for why a hit is
+    /// bitwise identical to a model evaluation). The cache must be
+    /// dedicated to this predictor's registry.
+    ///
+    /// # Errors
+    /// Returns a [`LowerError`] on malformed graphs.
+    pub fn predict_memoized(
+        &self,
+        graph: &Graph,
+        cache: &MemoCache,
+    ) -> Result<Prediction, LowerError> {
+        self.predict_with(graph, |k| self.registry.predict_memoized(cache, k))
+    }
+
+    /// The Algorithm 1 walk, parameterized over the kernel evaluator so
+    /// the direct and memoized paths share one implementation.
+    fn predict_with(
+        &self,
+        graph: &Graph,
+        eval: impl Fn(&KernelSpec) -> (f64, Confidence),
+    ) -> Result<Prediction, LowerError> {
         let mut cpu = 0.0f64;
         let mut streams: HashMap<usize, f64> = HashMap::new();
         let mut tensor_ready: HashMap<TensorId, f64> = HashMap::new();
@@ -186,7 +217,7 @@ impl E2ePredictor {
                 for (i, k) in kernels.into_iter().enumerate() {
                     // Degraded fallback instead of a panic when a family
                     // has no calibrated model; counted, not fatal.
-                    let (t_k, conf) = self.registry.predict_with_confidence(&k);
+                    let (t_k, conf) = eval(&k);
                     if conf == Confidence::Degraded {
                         degraded_kernels += 1;
                     }

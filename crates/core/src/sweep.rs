@@ -1,0 +1,689 @@
+//! The what-if sweep engine: Algorithm 1 run *many* times, in parallel.
+//!
+//! The paper's value is not one prediction but a matrix of them — batch
+//! sizes × devices × graph mutations (§V-A) — and serving such sweeps
+//! fast is the production workload this crate targets. [`SweepEngine`]
+//! fans a [`Scenario`] list across worker threads (a crossbeam-scoped
+//! pool pulling indices from a shared claim counter, so fast workers
+//! steal whatever slow workers have not started), answers kernel-model
+//! queries from one [`MemoCache`] per calibrated pipeline, honors a
+//! runtime [`CancellationToken`] between scenarios, and can run under a
+//! [`Supervisor`] with chunked checkpoints for kill/resume.
+//!
+//! With caching enabled the engine also *prepares graphs once*: scenarios
+//! with the same mutation list (e.g. the same `hoisted` variant priced on
+//! three devices) share one transformed graph instead of re-running the
+//! transform per cell. Graph transforms dominate scenario cost by orders
+//! of magnitude over a kernel-model query, so this sharing — not thread
+//! count — is the engine's biggest single-host win.
+//!
+//! **Determinism contract:** every scenario evaluation is a pure function
+//! of `(pipeline, base graph, scenario)`; results are written to the slot
+//! of the scenario's *input index*, never in completion order; cache hits
+//! are bitwise identical to model evaluations (see
+//! [`dlperf_kernels::memo`]); and graph preparation is a deterministic
+//! pure function of `(base, mutations)`, so sharing its output is
+//! invisible. Consequently the parallel sweep is bitwise identical to the
+//! sequential one at any thread count, cache on or off — `tests/sweep.rs`
+//! pins that property.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use dlperf_graph::transform::{fuse_embedding_bags, hoist_earliest, resize_batch};
+use dlperf_graph::Graph;
+use dlperf_kernels::{MemoCache, MemoCacheStats};
+use dlperf_runtime::{
+    CancellationToken, JobContext, JobError, ResumableJob, RunReport, StepOutcome, Supervisor,
+    SupervisorError,
+};
+use serde::{Deserialize, Serialize};
+
+use crate::pipeline::Pipeline;
+use crate::predictor::Prediction;
+
+/// A graph rewrite applied before pricing a scenario.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GraphMutation {
+    /// Resize the captured graph to this batch size.
+    ResizeBatch(u64),
+    /// Fuse per-table embedding bags into one batched lookup (Fig. 11).
+    FuseEmbeddingBags,
+    /// Hoist every movable op as early as its dependencies allow.
+    HoistAll,
+}
+
+/// One cell of a what-if matrix: which pipeline prices which mutated
+/// graph. `device` indexes into the engine's pipeline list.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Human-readable label, unique within a sweep by construction of
+    /// [`ScenarioMatrix`] (free-form when built by hand).
+    pub label: String,
+    /// Index of the pipeline (= calibrated device) that prices this cell.
+    pub device: usize,
+    /// Rewrites applied to the base graph, in order.
+    pub mutations: Vec<GraphMutation>,
+}
+
+impl Scenario {
+    /// A scenario pricing the unmodified base graph on `device`.
+    pub fn new(label: impl Into<String>, device: usize) -> Self {
+        Scenario { label: label.into(), device, mutations: Vec::new() }
+    }
+
+    /// Adds a mutation (builder style).
+    pub fn with(mut self, m: GraphMutation) -> Self {
+        self.mutations.push(m);
+        self
+    }
+}
+
+/// Cross-product builder for scenario lists: devices × batches ×
+/// named graph variants, enumerated in a deterministic order
+/// (device-major, then batch, then variant).
+#[derive(Debug, Clone, Default)]
+pub struct ScenarioMatrix {
+    devices: Vec<(String, usize)>,
+    batches: Vec<u64>,
+    variants: Vec<(String, Vec<GraphMutation>)>,
+}
+
+impl ScenarioMatrix {
+    /// An empty matrix. With no explicit axes, `build` yields nothing.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a device axis entry: a display name plus the pipeline index.
+    pub fn device(mut self, name: impl Into<String>, index: usize) -> Self {
+        self.devices.push((name.into(), index));
+        self
+    }
+
+    /// Adds batch-size axis entries (each becomes a `ResizeBatch`).
+    pub fn batches(mut self, batches: &[u64]) -> Self {
+        self.batches.extend_from_slice(batches);
+        self
+    }
+
+    /// Adds a named graph-variant axis entry.
+    pub fn variant(mut self, name: impl Into<String>, mutations: Vec<GraphMutation>) -> Self {
+        self.variants.push((name.into(), mutations));
+        self
+    }
+
+    /// Enumerates the full cross product.
+    pub fn build(&self) -> Vec<Scenario> {
+        let variants: &[(String, Vec<GraphMutation>)] = if self.variants.is_empty() {
+            &[(String::from("base"), Vec::new())]
+        } else {
+            &self.variants
+        };
+        let batches: &[u64] = if self.batches.is_empty() { &[0] } else { &self.batches };
+        let mut out = Vec::new();
+        for (dev_name, dev) in &self.devices {
+            for &b in batches {
+                for (var_name, muts) in variants {
+                    let mut mutations = Vec::new();
+                    let mut label = dev_name.clone();
+                    if b != 0 {
+                        mutations.push(GraphMutation::ResizeBatch(b));
+                        label.push_str(&format!("/b{b}"));
+                    }
+                    mutations.extend(muts.iter().cloned());
+                    label.push_str(&format!("/{var_name}"));
+                    out.push(Scenario { label, device: *dev, mutations });
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The outcome of one scenario. Errors (failed transforms, lowering
+/// failures) are captured as strings rather than aborting the sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioResult {
+    /// The scenario's label.
+    pub label: String,
+    /// The prediction, when the scenario priced successfully.
+    pub prediction: Option<Prediction>,
+    /// The failure, when it did not.
+    pub error: Option<String>,
+}
+
+impl ScenarioResult {
+    /// The prediction, panicking with the recorded error if the scenario
+    /// failed — convenient in tests and examples that expect clean runs.
+    pub fn expect_prediction(&self) -> &Prediction {
+        match &self.prediction {
+            Some(p) => p,
+            None => panic!(
+                "scenario `{}` failed: {}",
+                self.label,
+                self.error.as_deref().unwrap_or("unknown")
+            ),
+        }
+    }
+}
+
+/// What a sweep run produced.
+#[derive(Debug, Clone)]
+pub struct SweepOutcome {
+    /// One slot per input scenario, in input order. `None` only when the
+    /// sweep was cancelled before that scenario ran.
+    pub results: Vec<Option<ScenarioResult>>,
+    /// Whether cancellation cut the sweep short.
+    pub cancelled: bool,
+    /// Threads used.
+    pub threads: usize,
+    /// Wall-clock time of the run (milliseconds).
+    pub wall_ms: f64,
+    /// Merged cache counters at the end of the run (`None` with caching
+    /// disabled). Counters accumulate across runs of the same engine.
+    pub cache: Option<MemoCacheStats>,
+}
+
+impl SweepOutcome {
+    /// Number of scenarios that actually ran.
+    pub fn completed(&self) -> usize {
+        self.results.iter().filter(|r| r.is_some()).count()
+    }
+
+    /// All results of a *complete* run, in input order.
+    ///
+    /// # Panics
+    /// Panics if the sweep was cancelled before finishing.
+    pub fn expect_complete(&self) -> Vec<&ScenarioResult> {
+        self.results
+            .iter()
+            .map(|r| r.as_ref().expect("sweep was cancelled before completion"))
+            .collect()
+    }
+}
+
+/// Work-distributing parallel map with cooperative cancellation: applies
+/// `f` to every item on `threads` scoped workers that claim indices from
+/// a shared counter (dynamic self-scheduling — idle workers take over
+/// remaining items regardless of which worker "owned" them). Results land
+/// in input order; a cancelled run leaves `None` in the unvisited slots.
+///
+/// This is the engine's execution primitive, public so other crates
+/// (e.g. `dlperf-distrib`) can fan custom scenario types across the same
+/// machinery.
+///
+/// # Panics
+/// Propagates panics from `f`.
+pub fn par_map<S, R, F>(
+    threads: usize,
+    token: &CancellationToken,
+    items: &[S],
+    f: F,
+) -> Vec<Option<R>>
+where
+    S: Sync,
+    R: Send,
+    F: Fn(usize, &S) -> R + Sync,
+{
+    let threads = threads.max(1);
+    if threads == 1 || items.len() <= 1 {
+        // The sequential reference path: same claim order, same results.
+        let mut out = Vec::with_capacity(items.len());
+        for (i, item) in items.iter().enumerate() {
+            if token.is_cancelled() {
+                out.push(None);
+                continue;
+            }
+            out.push(Some(f(i, item)));
+        }
+        return out;
+    }
+
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = crossbeam::channel::unbounded::<(usize, R)>();
+    crossbeam::scope(|s| {
+        for _ in 0..threads.min(items.len()) {
+            let tx = tx.clone();
+            let next = &next;
+            let f = &f;
+            s.spawn(move |_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() || token.is_cancelled() {
+                    return;
+                }
+                let r = f(i, &items[i]);
+                // The receiver outlives the scope; send cannot fail.
+                if tx.send((i, r)).is_err() {
+                    unreachable!("sweep result channel closed");
+                }
+            });
+        }
+        drop(tx);
+    })
+    .expect("sweep worker panicked");
+    let mut out: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    for (i, r) in rx.iter() {
+        out[i] = Some(r);
+    }
+    out
+}
+
+/// The parallel what-if sweep engine. See the module docs.
+pub struct SweepEngine {
+    pipelines: Vec<Pipeline>,
+    caches: Vec<Arc<MemoCache>>,
+    threads: usize,
+    use_cache: bool,
+    token: CancellationToken,
+    /// Scenarios evaluated per supervised checkpoint step.
+    chunk: usize,
+}
+
+impl SweepEngine {
+    /// Wraps calibrated pipelines (one per candidate device). Thread count
+    /// defaults to the machine's available parallelism; caching is on.
+    ///
+    /// # Panics
+    /// Panics if `pipelines` is empty.
+    pub fn new(pipelines: Vec<Pipeline>) -> Self {
+        assert!(!pipelines.is_empty(), "sweep engine needs at least one pipeline");
+        let caches = pipelines.iter().map(|_| Arc::new(MemoCache::new())).collect();
+        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        SweepEngine {
+            pipelines,
+            caches,
+            threads,
+            use_cache: true,
+            token: CancellationToken::new(),
+            chunk: 16,
+        }
+    }
+
+    /// Sets the worker-thread count (builder style). 1 = sequential.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Enables or disables the kernel-model memo caches (builder style).
+    pub fn with_cache(mut self, on: bool) -> Self {
+        self.use_cache = on;
+        self
+    }
+
+    /// Installs a cancellation token shared with a supervisor/watchdog
+    /// (builder style).
+    pub fn with_cancellation(mut self, token: CancellationToken) -> Self {
+        self.token = token;
+        self
+    }
+
+    /// Sets the scenarios-per-checkpoint granularity of supervised runs
+    /// (builder style).
+    ///
+    /// # Panics
+    /// Panics if `chunk` is zero.
+    pub fn with_chunk(mut self, chunk: usize) -> Self {
+        assert!(chunk > 0, "checkpoint chunk must be positive");
+        self.chunk = chunk;
+        self
+    }
+
+    /// The calibrated pipelines, indexable by `Scenario::device`.
+    pub fn pipelines(&self) -> &[Pipeline] {
+        &self.pipelines
+    }
+
+    /// The configured thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Merged cache counters across all per-device caches.
+    pub fn cache_stats(&self) -> MemoCacheStats {
+        let all: Vec<MemoCacheStats> = self.caches.iter().map(|c| c.stats()).collect();
+        MemoCacheStats::merged(&all)
+    }
+
+    /// Clears all per-device caches (counters included).
+    pub fn clear_caches(&self) {
+        for c in &self.caches {
+            c.clear();
+        }
+    }
+
+    /// Applies a mutation list to the base graph — a deterministic pure
+    /// function of `(base, mutations)`, which is what makes sharing its
+    /// output across scenarios invisible to results.
+    fn prepare(&self, base: &Graph, mutations: &[GraphMutation]) -> Result<Graph, String> {
+        let mut g = base.clone();
+        for m in mutations {
+            let r = match m {
+                GraphMutation::ResizeBatch(b) => resize_batch(&mut g, *b).map(|_| ()),
+                GraphMutation::FuseEmbeddingBags => fuse_embedding_bags(&mut g).map(|_| ()),
+                GraphMutation::HoistAll => {
+                    for i in 0..g.node_count() {
+                        let id = g.nodes()[i].id;
+                        let _ = hoist_earliest(&mut g, id);
+                    }
+                    Ok(())
+                }
+            };
+            if let Err(e) = r {
+                return Err(format!("transform failed: {e}"));
+            }
+        }
+        Ok(g)
+    }
+
+    /// Prices one prepared graph on the scenario's pipeline.
+    fn price(&self, s: &Scenario, prepared: &Result<Graph, String>) -> ScenarioResult {
+        if s.device >= self.pipelines.len() {
+            return ScenarioResult {
+                label: s.label.clone(),
+                prediction: None,
+                error: Some(format!(
+                    "device index {} out of range ({} pipelines)",
+                    s.device,
+                    self.pipelines.len()
+                )),
+            };
+        }
+        let g = match prepared {
+            Ok(g) => g,
+            Err(e) => {
+                return ScenarioResult {
+                    label: s.label.clone(),
+                    prediction: None,
+                    error: Some(e.clone()),
+                }
+            }
+        };
+        let pipeline = &self.pipelines[s.device];
+        let pred = if self.use_cache {
+            pipeline.predict_memoized(g, &self.caches[s.device])
+        } else {
+            pipeline.predict(g)
+        };
+        match pred {
+            Ok(p) => ScenarioResult { label: s.label.clone(), prediction: Some(p), error: None },
+            Err(e) => ScenarioResult {
+                label: s.label.clone(),
+                prediction: None,
+                error: Some(format!("lowering failed: {e}")),
+            },
+        }
+    }
+
+    /// Prices one scenario end to end (transform + predict) — the shared
+    /// pure function of the naive (cache-off) and supervised paths.
+    fn eval(&self, base: &Graph, s: &Scenario) -> ScenarioResult {
+        self.price(s, &self.prepare(base, &s.mutations))
+    }
+
+    /// Runs the sweep on the configured thread count.
+    pub fn run(&self, base: &Graph, scenarios: &[Scenario]) -> SweepOutcome {
+        self.run_on(self.threads, base, scenarios)
+    }
+
+    /// Runs the sweep strictly sequentially (the bitwise reference path).
+    pub fn run_sequential(&self, base: &Graph, scenarios: &[Scenario]) -> SweepOutcome {
+        self.run_on(1, base, scenarios)
+    }
+
+    fn run_on(&self, threads: usize, base: &Graph, scenarios: &[Scenario]) -> SweepOutcome {
+        let start = Instant::now();
+        let results = if self.use_cache {
+            // Phase 1: prepare each distinct mutation list once, in
+            // parallel — scenarios differing only in device share the
+            // transformed graph.
+            let mut unique: Vec<&[GraphMutation]> = Vec::new();
+            let mut index: HashMap<&[GraphMutation], usize> = HashMap::new();
+            for s in scenarios {
+                index.entry(s.mutations.as_slice()).or_insert_with(|| {
+                    unique.push(s.mutations.as_slice());
+                    unique.len() - 1
+                });
+            }
+            let prepared =
+                par_map(threads, &self.token, &unique, |_, muts| self.prepare(base, muts));
+            // Phase 2: price every scenario against its prepared graph. A
+            // `None` prepared slot means cancellation hit phase 1; the
+            // dependent scenarios stay unvisited (`None`), matching what a
+            // cancelled sequential run leaves behind.
+            par_map(threads, &self.token, scenarios, |_, s| {
+                prepared[index[s.mutations.as_slice()]]
+                    .as_ref()
+                    .map(|graph| self.price(s, graph))
+            })
+            .into_iter()
+            .map(Option::flatten)
+            .collect()
+        } else {
+            par_map(threads, &self.token, scenarios, |_, s| self.eval(base, s))
+        };
+        let cancelled = results.iter().any(|r: &Option<ScenarioResult>| r.is_none());
+        SweepOutcome {
+            results,
+            cancelled,
+            threads,
+            wall_ms: start.elapsed().as_secs_f64() * 1e3,
+            cache: self.use_cache.then(|| self.cache_stats()),
+        }
+    }
+
+    /// Runs the sweep under a [`Supervisor`]: scenarios are evaluated in
+    /// chunks of [`SweepEngine::with_chunk`] size, each chunk one
+    /// checkpointable step, so a killed sweep resumes from its last
+    /// snapshot and still produces bitwise-identical results (every
+    /// evaluation is a pure function; see the module docs).
+    pub fn run_supervised(
+        &self,
+        base: &Graph,
+        scenarios: &[Scenario],
+        supervisor: &mut Supervisor,
+    ) -> (Result<Vec<ScenarioResult>, SupervisorError>, RunReport) {
+        let job = SweepJob { engine: self, base, scenarios };
+        let (result, report) = supervisor.run(&job);
+        (result.map(|state| state.results), report)
+    }
+}
+
+impl std::fmt::Debug for SweepEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SweepEngine")
+            .field("pipelines", &self.pipelines.len())
+            .field("threads", &self.threads)
+            .field("use_cache", &self.use_cache)
+            .field("chunk", &self.chunk)
+            .finish()
+    }
+}
+
+/// Resumable progress of a supervised sweep.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SweepState {
+    /// Results of the scenarios evaluated so far, in input order.
+    results: Vec<ScenarioResult>,
+}
+
+/// A sweep packaged as a [`ResumableJob`]: step `i` always evaluates the
+/// `i`-th chunk of the scenario list, independent of earlier steps.
+struct SweepJob<'a> {
+    engine: &'a SweepEngine,
+    base: &'a Graph,
+    scenarios: &'a [Scenario],
+}
+
+impl ResumableJob for SweepJob<'_> {
+    type State = SweepState;
+    type Output = SweepState;
+
+    fn name(&self) -> &str {
+        "core.sweep"
+    }
+
+    fn initial_state(&self) -> SweepState {
+        SweepState::default()
+    }
+
+    fn step(&self, state: &mut SweepState, ctx: &JobContext) -> Result<StepOutcome, JobError> {
+        ctx.check_cancelled()?;
+        let done = state.results.len();
+        let chunk =
+            &self.scenarios[done..(done + self.engine.chunk).min(self.scenarios.len())];
+        let results = par_map(self.engine.threads, &self.engine.token, chunk, |_, s| {
+            self.engine.eval(self.base, s)
+        });
+        for r in results {
+            match r {
+                Some(r) => state.results.push(r),
+                None => return Err(JobError::Cancelled),
+            }
+        }
+        if state.results.len() < self.scenarios.len() {
+            Ok(StepOutcome::Continue)
+        } else {
+            Ok(StepOutcome::Done)
+        }
+    }
+
+    fn finish(&self, state: SweepState) -> SweepState {
+        state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlperf_gpusim::DeviceSpec;
+    use dlperf_kernels::CalibrationEffort;
+    use dlperf_models::DlrmConfig;
+    use dlperf_runtime::SupervisorConfig;
+
+    fn engine() -> (SweepEngine, Graph) {
+        let g = DlrmConfig {
+            rows_per_table: vec![50_000; 4],
+            ..DlrmConfig::default_config(256)
+        }
+        .build();
+        let pipe = Pipeline::analyze(
+            &DeviceSpec::v100(),
+            std::slice::from_ref(&g),
+            CalibrationEffort::Quick,
+            6,
+            21,
+        );
+        (SweepEngine::new(vec![pipe]), g)
+    }
+
+    fn bits(o: &SweepOutcome) -> Vec<(String, Option<u64>)> {
+        o.expect_complete()
+            .iter()
+            .map(|r| (r.label.clone(), r.prediction.as_ref().map(|p| p.e2e_us.to_bits())))
+            .collect()
+    }
+
+    #[test]
+    fn matrix_enumerates_cross_product_deterministically() {
+        let m = ScenarioMatrix::new()
+            .device("V100", 0)
+            .device("P100", 1)
+            .batches(&[128, 256])
+            .variant("base", vec![])
+            .variant("hoisted", vec![GraphMutation::HoistAll]);
+        let scenarios = m.build();
+        assert_eq!(scenarios.len(), 8);
+        assert_eq!(scenarios[0].label, "V100/b128/base");
+        assert_eq!(scenarios[7].label, "P100/b256/hoisted");
+        assert_eq!(scenarios, m.build(), "enumeration is deterministic");
+    }
+
+    #[test]
+    fn parallel_matches_sequential_bitwise() {
+        let (eng, g) = engine();
+        let scenarios = ScenarioMatrix::new()
+            .device("V100", 0)
+            .batches(&[128, 256, 512])
+            .variant("base", vec![])
+            .variant("hoisted", vec![GraphMutation::HoistAll])
+            .build();
+        let seq = eng.run_sequential(&g, &scenarios);
+        let par = eng.with_threads(4).run(&g, &scenarios);
+        assert_eq!(bits(&seq), bits(&par));
+    }
+
+    #[test]
+    fn cache_on_off_equivalent_and_counts_hits() {
+        let (eng, g) = engine();
+        let scenarios = ScenarioMatrix::new()
+            .device("V100", 0)
+            .batches(&[256, 512])
+            .variant("base", vec![])
+            .variant("hoisted", vec![GraphMutation::HoistAll])
+            .build();
+        let cached = eng.run(&g, &scenarios);
+        let stats = cached.cache.expect("cache enabled");
+        assert!(stats.hits > 0, "hoisted variant shares every kernel: {stats}");
+        let uncached = eng.with_cache(false).run(&g, &scenarios);
+        assert!(uncached.cache.is_none());
+        assert_eq!(bits(&cached), bits(&uncached));
+    }
+
+    #[test]
+    fn bad_scenarios_record_errors_not_panics() {
+        let (eng, g) = engine();
+        let scenarios = vec![
+            Scenario::new("ok", 0),
+            Scenario::new("bad-device", 7),
+            Scenario::new("bad-resize", 0).with(GraphMutation::ResizeBatch(0)),
+        ];
+        let out = eng.run(&g, &scenarios);
+        let rs = out.expect_complete();
+        assert!(rs[0].prediction.is_some());
+        assert!(rs[1].error.as_deref().unwrap().contains("out of range"));
+        assert!(rs[2].error.is_some());
+    }
+
+    #[test]
+    fn cancelled_token_short_circuits() {
+        let (eng, g) = engine();
+        let token = CancellationToken::new();
+        token.cancel();
+        let eng = eng.with_cancellation(token);
+        let scenarios =
+            ScenarioMatrix::new().device("V100", 0).batches(&[128, 256]).build();
+        let out = eng.run(&g, &scenarios);
+        assert!(out.cancelled);
+        assert_eq!(out.completed(), 0);
+    }
+
+    #[test]
+    fn supervised_sweep_matches_direct_run() {
+        let (eng, g) = engine();
+        let scenarios = ScenarioMatrix::new()
+            .device("V100", 0)
+            .batches(&[128, 256, 512])
+            .variant("base", vec![])
+            .build();
+        let direct = eng.run(&g, &scenarios);
+        let eng2 = eng.with_chunk(2);
+        let mut sup = Supervisor::new(SupervisorConfig::default());
+        let (res, report) = eng2.run_supervised(&g, &scenarios, &mut sup);
+        let supervised = res.expect("supervised sweep completes");
+        assert_eq!(report.steps_completed, 2, "3 scenarios over chunk=2");
+        let direct_bits: Vec<Option<u64>> = direct
+            .expect_complete()
+            .iter()
+            .map(|r| r.prediction.as_ref().map(|p| p.e2e_us.to_bits()))
+            .collect();
+        let sup_bits: Vec<Option<u64>> = supervised
+            .iter()
+            .map(|r| r.prediction.as_ref().map(|p| p.e2e_us.to_bits()))
+            .collect();
+        assert_eq!(direct_bits, sup_bits);
+    }
+}

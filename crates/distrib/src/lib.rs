@@ -37,11 +37,15 @@ pub mod builder;
 pub mod engine;
 pub mod plan;
 pub mod predictor;
+pub mod sweep;
 
 pub use builder::DistributedDlrm;
 pub use engine::{DistributedRunResult, MultiGpuEngine};
 pub use plan::ShardingPlan;
 pub use predictor::{DistributedPredictor, DistributedPrediction};
+pub use sweep::{
+    enumerate_plans, sweep_shardings, ShardingResult, ShardingScenario, ShardingSweepOutcome,
+};
 
 /// Errors raised by distributed-model construction.
 #[derive(Debug, Clone, PartialEq, Eq)]

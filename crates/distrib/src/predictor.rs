@@ -7,6 +7,7 @@
 use dlperf_core::predictor::E2ePredictor;
 use dlperf_gpusim::{collective, DeviceSpec};
 use dlperf_graph::lower::LowerError;
+use dlperf_kernels::MemoCache;
 
 use crate::builder::DistributedDlrm;
 
@@ -52,10 +53,38 @@ impl DistributedPredictor {
     /// # Errors
     /// Propagates lowering errors from malformed segment graphs.
     pub fn predict(&self, job: &DistributedDlrm) -> Result<DistributedPrediction, LowerError> {
+        self.predict_inner(job, None)
+    }
+
+    /// Like [`DistributedPredictor::predict`], answering kernel-model
+    /// queries from `cache`. Across the ranks of one job most segments
+    /// share kernel shapes (data parallelism makes the MLP segments
+    /// identical), so even a single prediction hits heavily; across a
+    /// sharding sweep the hit rate compounds. Bitwise identical to the
+    /// uncached path (see [`dlperf_kernels::memo`]).
+    ///
+    /// # Errors
+    /// Propagates lowering errors from malformed segment graphs.
+    pub fn predict_memoized(
+        &self,
+        job: &DistributedDlrm,
+        cache: &MemoCache,
+    ) -> Result<DistributedPrediction, LowerError> {
+        self.predict_inner(job, Some(cache))
+    }
+
+    fn predict_inner(
+        &self,
+        job: &DistributedDlrm,
+        cache: Option<&MemoCache>,
+    ) -> Result<DistributedPrediction, LowerError> {
         let mut segment_us = [0.0f64; 4];
         for rank in 0..job.world() {
             for (i, seg) in job.segments(rank).iter().enumerate() {
-                let p = self.predictor.predict(seg)?;
+                let p = match cache {
+                    Some(c) => self.predictor.predict_memoized(seg, c)?,
+                    None => self.predictor.predict(seg)?,
+                };
                 segment_us[i] = segment_us[i].max(p.e2e_us);
             }
         }

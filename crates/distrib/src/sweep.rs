@@ -1,0 +1,179 @@
+//! Sharding-plan sweeps: the distributed counterpart of
+//! [`dlperf_core::sweep`].
+//!
+//! Enumerates candidate `(world size, sharding plan)` scenarios for a DLRM
+//! config and prices them all through [`DistributedPredictor`] on
+//! [`dlperf_core::sweep::par_map`] — the same work-distributing,
+//! cancellation-aware primitive the single-GPU engine uses — with one
+//! shared [`MemoCache`] answering kernel-model queries. Data-parallel MLP
+//! segments are identical across ranks and plans, so the cache hit rate
+//! across a plan sweep is high and the parallel sweep stays bitwise
+//! identical to the sequential one (pure evaluations, index-slotted
+//! results).
+
+use dlperf_core::sweep::par_map;
+use dlperf_kernels::{MemoCache, MemoCacheStats};
+use dlperf_models::DlrmConfig;
+use dlperf_runtime::CancellationToken;
+
+use crate::builder::DistributedDlrm;
+use crate::plan::ShardingPlan;
+use crate::predictor::{DistributedPrediction, DistributedPredictor};
+
+/// One cell of a sharding sweep: a world size plus a candidate plan.
+#[derive(Debug, Clone)]
+pub struct ShardingScenario {
+    /// Display label, e.g. `"w4/round_robin"`.
+    pub label: String,
+    /// The candidate plan (carries the world size).
+    pub plan: ShardingPlan,
+}
+
+/// The outcome of one sharding scenario.
+#[derive(Debug, Clone)]
+pub struct ShardingResult {
+    /// The scenario's label.
+    pub label: String,
+    /// The prediction, when the job built and priced successfully.
+    pub prediction: Option<DistributedPrediction>,
+    /// The failure, when it did not.
+    pub error: Option<String>,
+}
+
+/// Enumerates candidate plans for `tables` embedding tables at each world
+/// size: round-robin, block-contiguous, and a deliberately skewed
+/// all-on-rank-0 straggler (the load-imbalance reference point of §V-B).
+/// Order is deterministic: world sizes as given, plans in the order above.
+pub fn enumerate_plans(tables: usize, worlds: &[usize]) -> Vec<ShardingScenario> {
+    let mut out = Vec::new();
+    for &w in worlds {
+        out.push(ShardingScenario {
+            label: format!("w{w}/round_robin"),
+            plan: ShardingPlan::round_robin(tables, w),
+        });
+        let block: Vec<usize> = (0..tables).map(|t| t * w / tables.max(1)).collect();
+        if let Ok(plan) = ShardingPlan::new(block, w) {
+            out.push(ShardingScenario { label: format!("w{w}/block"), plan });
+        }
+        if w > 1 {
+            if let Ok(plan) = ShardingPlan::new(vec![0; tables], w) {
+                out.push(ShardingScenario { label: format!("w{w}/skewed0"), plan });
+            }
+        }
+    }
+    out
+}
+
+/// What a sharding sweep produced.
+#[derive(Debug, Clone)]
+pub struct ShardingSweepOutcome {
+    /// One slot per scenario, in input order; `None` only under
+    /// cancellation.
+    pub results: Vec<Option<ShardingResult>>,
+    /// Cache counters after the sweep.
+    pub cache: MemoCacheStats,
+}
+
+impl ShardingSweepOutcome {
+    /// The completed result with the lowest predicted E2E time.
+    pub fn best(&self) -> Option<&ShardingResult> {
+        self.results
+            .iter()
+            .flatten()
+            .filter(|r| r.prediction.is_some())
+            .min_by(|a, b| {
+                let ta = a.prediction.as_ref().map(|p| p.e2e_us).unwrap_or(f64::INFINITY);
+                let tb = b.prediction.as_ref().map(|p| p.e2e_us).unwrap_or(f64::INFINITY);
+                ta.partial_cmp(&tb).expect("predictions are finite")
+            })
+    }
+}
+
+/// Prices every scenario on `threads` workers, sharing one memo cache.
+/// Results are bitwise identical at any thread count.
+pub fn sweep_shardings(
+    predictor: &DistributedPredictor,
+    config: &DlrmConfig,
+    scenarios: &[ShardingScenario],
+    threads: usize,
+    token: &CancellationToken,
+) -> ShardingSweepOutcome {
+    let cache = MemoCache::new();
+    let results = par_map(threads, token, scenarios, |_, s| {
+        let built = DistributedDlrm::new(config.clone(), s.plan.clone());
+        match built {
+            Ok(job) => match predictor.predict_memoized(&job, &cache) {
+                Ok(p) => {
+                    ShardingResult { label: s.label.clone(), prediction: Some(p), error: None }
+                }
+                Err(e) => ShardingResult {
+                    label: s.label.clone(),
+                    prediction: None,
+                    error: Some(format!("lowering failed: {e}")),
+                },
+            },
+            Err(e) => ShardingResult {
+                label: s.label.clone(),
+                prediction: None,
+                error: Some(format!("invalid plan: {e}")),
+            },
+        }
+    });
+    ShardingSweepOutcome { results, cache: cache.stats() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlperf_core::pipeline::Pipeline;
+    use dlperf_gpusim::DeviceSpec;
+    use dlperf_kernels::CalibrationEffort;
+
+    fn predictor(cfg: &DlrmConfig) -> DistributedPredictor {
+        let job =
+            DistributedDlrm::new(cfg.clone(), ShardingPlan::round_robin(cfg.rows_per_table.len(), 2))
+                .unwrap();
+        let segs = job.segments(0).to_vec();
+        let device = DeviceSpec::v100();
+        let pipe = Pipeline::analyze(&device, &segs, CalibrationEffort::Quick, 6, 17);
+        DistributedPredictor::new(pipe.predictor().clone(), device)
+    }
+
+    #[test]
+    fn enumeration_is_deterministic_and_covers_worlds() {
+        let a = enumerate_plans(8, &[1, 2, 4]);
+        let b = enumerate_plans(8, &[1, 2, 4]);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.label, y.label);
+            assert_eq!(x.plan.assignment(), y.plan.assignment());
+        }
+        // world=1 has no distinct skewed plan; larger worlds have 3 each.
+        assert_eq!(a.len(), 2 + 3 + 3);
+    }
+
+    #[test]
+    fn parallel_sweep_matches_sequential_bitwise_and_hits_cache() {
+        let cfg = DlrmConfig::default_config(512);
+        let pred = predictor(&cfg);
+        let scenarios = enumerate_plans(cfg.rows_per_table.len(), &[2, 4]);
+        let token = CancellationToken::new();
+        let seq = sweep_shardings(&pred, &cfg, &scenarios, 1, &token);
+        let par = sweep_shardings(&pred, &cfg, &scenarios, 4, &token);
+        let bits = |o: &ShardingSweepOutcome| -> Vec<Option<u64>> {
+            o.results
+                .iter()
+                .map(|r| {
+                    r.as_ref()
+                        .and_then(|r| r.prediction.as_ref())
+                        .map(|p| p.e2e_us.to_bits())
+                })
+                .collect()
+        };
+        assert_eq!(bits(&seq), bits(&par));
+        assert!(seq.cache.hits > 0, "DP segments repeat across plans: {}", seq.cache);
+        // The sweep should prefer a balanced plan over the straggler.
+        let best = seq.best().unwrap();
+        assert!(!best.label.contains("skewed"), "picked {}", best.label);
+    }
+}

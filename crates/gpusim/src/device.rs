@@ -194,6 +194,45 @@ impl DeviceSpec {
     pub fn interconnect_bytes_per_us(&self) -> f64 {
         self.interconnect_bw_gbs * 1e3
     }
+
+    /// A hypothetical variant with DRAM bandwidth scaled by `factor`
+    /// (§V-A style "what if memory were faster" questions). The name is
+    /// suffixed so sweep labels stay distinguishable.
+    ///
+    /// # Panics
+    /// Panics if `factor` is not finite and positive.
+    pub fn scaled_dram(&self, factor: f64) -> DeviceSpec {
+        assert!(factor.is_finite() && factor > 0.0, "bad DRAM scale {factor}");
+        let mut d = self.clone();
+        d.dram_bw_gbs *= factor;
+        d.name = format!("{} (dram x{factor})", self.name);
+        d
+    }
+
+    /// A hypothetical variant with FP32 throughput scaled by `factor`.
+    ///
+    /// # Panics
+    /// Panics if `factor` is not finite and positive.
+    pub fn scaled_compute(&self, factor: f64) -> DeviceSpec {
+        assert!(factor.is_finite() && factor > 0.0, "bad compute scale {factor}");
+        let mut d = self.clone();
+        d.fp32_gflops *= factor;
+        d.name = format!("{} (fp32 x{factor})", self.name);
+        d
+    }
+
+    /// The device axis of a what-if sweep: every paper device plus, for
+    /// each listed scale factor, DRAM- and compute-scaled variants of this
+    /// device. Enumeration order is deterministic (paper devices first,
+    /// then scales in the given order, DRAM before compute).
+    pub fn whatif_grid(&self, scales: &[f64]) -> Vec<DeviceSpec> {
+        let mut grid = Self::paper_devices();
+        for &s in scales {
+            grid.push(self.scaled_dram(s));
+            grid.push(self.scaled_compute(s));
+        }
+        grid
+    }
 }
 
 #[cfg(test)]
@@ -235,5 +274,20 @@ mod tests {
         let s = serde_json::to_string(&v).unwrap();
         let back: DeviceSpec = serde_json::from_str(&s).unwrap();
         assert_eq!(v, back);
+    }
+
+    #[test]
+    fn whatif_grid_scales_and_labels() {
+        let v = DeviceSpec::v100();
+        let grid = v.whatif_grid(&[2.0]);
+        assert_eq!(grid.len(), DeviceSpec::paper_devices().len() + 2);
+        let dram = &grid[grid.len() - 2];
+        let comp = &grid[grid.len() - 1];
+        assert!((dram.dram_bw_gbs - 2.0 * v.dram_bw_gbs).abs() < 1e-9);
+        assert_eq!(dram.fp32_gflops, v.fp32_gflops);
+        assert!((comp.fp32_gflops - 2.0 * v.fp32_gflops).abs() < 1e-9);
+        assert_eq!(comp.dram_bw_gbs, v.dram_bw_gbs);
+        assert_ne!(dram.name, comp.name);
+        assert_eq!(grid, v.whatif_grid(&[2.0]), "enumeration is deterministic");
     }
 }

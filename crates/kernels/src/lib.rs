@@ -31,12 +31,14 @@
 
 pub mod error;
 pub mod heuristic;
+pub mod memo;
 pub mod microbench;
 pub mod mlbased;
 pub mod persist;
 pub mod registry;
 
 pub use error::{ErrorStats, ErrorStatsError};
+pub use memo::{MemoCache, MemoCacheStats, MemoKey};
 pub use microbench::{MicrobenchHarness, MicrobenchJob, Microbenchmark, Sample};
 pub use persist::RegistryBundle;
 pub use registry::{CalibrationEffort, Confidence, KernelPerfModel, ModelRegistry};

@@ -1,0 +1,345 @@
+//! Memoization of kernel-model evaluations.
+//!
+//! A what-if sweep prices thousands of execution graphs against the same
+//! calibrated [`ModelRegistry`], and the critical-path walk re-evaluates
+//! the *same* GEMM / embedding / roofline queries over and over — across
+//! scenarios that share a device and batch size, most kernels are
+//! identical. [`MemoCache`] is a sharded concurrent map from a
+//! [`MemoKey`] (kernel family + quantized model inputs) to the model's
+//! `(time, confidence)` output, with hit/miss counters so sweeps can
+//! report their cache efficiency.
+//!
+//! ## Why quantized-feature keys are safe
+//!
+//! Every kernel performance model in this workspace is a *pure function*
+//! of the [`KernelSpec`] it is given (the registry's trait is `&self` and
+//! [`Send`]` + `[`Sync`]; the MLP inference path never mutates weights).
+//! The key derived here includes **every field a model can read**:
+//! integer shape parameters verbatim, and `f64` parameters quantized to
+//! their IEEE-754 bit pattern (`to_bits`), which is the finest — and
+//! therefore lossless — quantization grid. Two specs that collide on a
+//! [`MemoKey`] are indistinguishable to every model, so replaying a
+//! cached value is *bitwise identical* to re-evaluating the model. A
+//! coarser grid (e.g. bucketing sizes to powers of two) would raise hit
+//! rates but break the sweep engine's bitwise cache-on/cache-off
+//! equivalence contract, so it is deliberately not offered.
+//!
+//! One cache serves **one registry**: predictions depend on the device
+//! the registry was calibrated for, and the key does not include the
+//! device. The sweep engine therefore keeps one cache per pipeline.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use dlperf_gpusim::{KernelFamily, KernelSpec, MemcpyKind};
+use serde::{Deserialize, Serialize};
+
+use crate::registry::{Confidence, ModelRegistry};
+
+/// Number of independently locked shards; a small power of two keeps
+/// contention low at sweep-level thread counts without bloating the map.
+const SHARDS: usize = 16;
+
+/// The cache key: kernel family plus every model-visible input field.
+///
+/// Integer fields are keyed verbatim; `f64` fields by bit pattern (see
+/// the module docs for why this exact quantization is the only level
+/// compatible with bitwise determinism). Unused slots are zero — the
+/// family discriminant keeps variants with different arities apart.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MemoKey {
+    family: KernelFamily,
+    fields: [u64; 9],
+}
+
+impl MemoKey {
+    /// Derives the key for a kernel invocation.
+    pub fn of(kernel: &KernelSpec) -> Self {
+        let mut fields = [0u64; 9];
+        match *kernel {
+            KernelSpec::Gemm { m, n, k, batch } => fields[..4].copy_from_slice(&[m, n, k, batch]),
+            KernelSpec::EmbeddingForward { b, e, t, l, d, rows_per_block }
+            | KernelSpec::EmbeddingBackward { b, e, t, l, d, rows_per_block } => {
+                fields[..6].copy_from_slice(&[b, e, t, l, d, rows_per_block]);
+            }
+            KernelSpec::Concat { bytes } => fields[0] = bytes,
+            KernelSpec::Memcpy { bytes, kind } => {
+                fields[0] = bytes;
+                fields[1] = match kind {
+                    MemcpyKind::HostToDevice => 1,
+                    MemcpyKind::DeviceToHost => 2,
+                    MemcpyKind::DeviceToDevice => 3,
+                };
+            }
+            KernelSpec::Transpose { batch, rows, cols } => {
+                fields[..3].copy_from_slice(&[batch, rows, cols]);
+            }
+            KernelSpec::TrilForward { batch, n } | KernelSpec::TrilBackward { batch, n } => {
+                fields[..2].copy_from_slice(&[batch, n]);
+            }
+            KernelSpec::Elementwise { elems, flops_per_elem, bytes_per_elem } => {
+                fields[..3].copy_from_slice(&[
+                    elems,
+                    flops_per_elem.to_bits(),
+                    bytes_per_elem.to_bits(),
+                ]);
+            }
+            KernelSpec::Conv2d { batch, c_in, h, w, c_out, kh, kw, stride, pad } => {
+                fields.copy_from_slice(&[batch, c_in, h, w, c_out, kh, kw, stride, pad]);
+            }
+        }
+        MemoKey { family: kernel.family(), fields }
+    }
+
+    /// The kernel family this key belongs to.
+    pub fn family(&self) -> KernelFamily {
+        self.family
+    }
+
+    /// A process-independent shard/bucket index: an FNV-1a fold over the
+    /// fields (std's `RandomState` would re-seed per process, which is
+    /// harmless for correctness but makes shard load untestable).
+    fn shard(&self) -> usize {
+        let mut h: u64 = 0xcbf29ce484222325;
+        let mut mix = |v: u64| {
+            for b in v.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+        };
+        mix(self.family as u64);
+        for &f in &self.fields {
+            mix(f);
+        }
+        (h % SHARDS as u64) as usize
+    }
+}
+
+/// Snapshot of a cache's counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct MemoCacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to evaluate the model.
+    pub misses: u64,
+    /// Distinct keys currently stored.
+    pub entries: usize,
+}
+
+impl MemoCacheStats {
+    /// Fraction of lookups served from the cache (0 when never queried).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Merges counters from several caches (e.g. one per device).
+    pub fn merged(all: &[MemoCacheStats]) -> MemoCacheStats {
+        all.iter().fold(MemoCacheStats::default(), |a, s| MemoCacheStats {
+            hits: a.hits + s.hits,
+            misses: a.misses + s.misses,
+            entries: a.entries + s.entries,
+        })
+    }
+}
+
+impl std::fmt::Display for MemoCacheStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} hits / {} misses ({:.1}% hit rate, {} entries)",
+            self.hits,
+            self.misses,
+            self.hit_rate() * 100.0,
+            self.entries
+        )
+    }
+}
+
+/// A thread-safe memo table for kernel-model evaluations.
+///
+/// Sharded `Mutex<HashMap>`s: lookups lock one shard briefly; the model
+/// evaluation on a miss runs *outside* the lock, so concurrent misses on
+/// different keys never serialize on each other. Two threads racing on
+/// the same key may both evaluate the model — both compute the identical
+/// pure-function result, so last-write-wins is benign and keeps the
+/// fast path lock-short.
+#[derive(Debug)]
+pub struct MemoCache {
+    shards: Vec<Mutex<HashMap<MemoKey, (f64, Confidence)>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Default for MemoCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MemoCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        MemoCache {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks up `key`, evaluating `compute` and storing its result on a
+    /// miss. The computation runs outside the shard lock.
+    pub fn get_or_insert_with(
+        &self,
+        key: MemoKey,
+        compute: impl FnOnce() -> (f64, Confidence),
+    ) -> (f64, Confidence) {
+        let shard = &self.shards[key.shard()];
+        if let Some(&v) = shard.lock().expect("memo shard poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return v;
+        }
+        let v = compute();
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        shard.lock().expect("memo shard poisoned").insert(key, v);
+        v
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> MemoCacheStats {
+        MemoCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self
+                .shards
+                .iter()
+                .map(|s| s.lock().expect("memo shard poisoned").len())
+                .sum(),
+        }
+    }
+
+    /// Drops all entries and zeroes the counters.
+    pub fn clear(&self) {
+        for s in &self.shards {
+            s.lock().expect("memo shard poisoned").clear();
+        }
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+}
+
+impl ModelRegistry {
+    /// Like [`ModelRegistry::predict_with_confidence`], but answered from
+    /// `cache` when the (family, quantized inputs) key has been evaluated
+    /// before. The cache must be dedicated to this registry — keys do not
+    /// include the calibration device.
+    pub fn predict_memoized(&self, cache: &MemoCache, kernel: &KernelSpec) -> (f64, Confidence) {
+        cache.get_or_insert_with(MemoKey::of(kernel), || self.predict_with_confidence(kernel))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlperf_gpusim::DeviceSpec;
+
+    #[test]
+    fn key_separates_families_and_fields() {
+        let a = MemoKey::of(&KernelSpec::gemm(64, 64, 64));
+        let b = MemoKey::of(&KernelSpec::gemm(64, 64, 65));
+        let c = MemoKey::of(&KernelSpec::Transpose { batch: 64, rows: 64, cols: 64 });
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, MemoKey::of(&KernelSpec::gemm(64, 64, 64)));
+    }
+
+    #[test]
+    fn tril_directions_do_not_collide() {
+        let f = MemoKey::of(&KernelSpec::TrilForward { batch: 8, n: 27 });
+        let b = MemoKey::of(&KernelSpec::TrilBackward { batch: 8, n: 27 });
+        assert_ne!(f, b, "same fields, different family");
+    }
+
+    #[test]
+    fn memcpy_kinds_do_not_collide() {
+        let h2d = MemoKey::of(&KernelSpec::memcpy_h2d(1 << 20));
+        let d2d = MemoKey::of(&KernelSpec::memcpy_d2d(1 << 20));
+        assert_ne!(h2d, d2d);
+    }
+
+    #[test]
+    fn elementwise_float_params_are_exact() {
+        let a = MemoKey::of(&KernelSpec::Elementwise {
+            elems: 1024,
+            flops_per_elem: 1.0,
+            bytes_per_elem: 8.0,
+        });
+        let b = MemoKey::of(&KernelSpec::Elementwise {
+            elems: 1024,
+            flops_per_elem: 1.0 + f64::EPSILON,
+            bytes_per_elem: 8.0,
+        });
+        assert_ne!(a, b, "bit-level quantization must distinguish any two floats");
+    }
+
+    #[test]
+    fn cached_prediction_is_bitwise_identical_and_counted() {
+        let reg = ModelRegistry::calibrate(&DeviceSpec::v100(), crate::CalibrationEffort::Quick, 3);
+        let cache = MemoCache::new();
+        let k = KernelSpec::gemm(512, 256, 128);
+        let direct = reg.predict_with_confidence(&k);
+        let miss = reg.predict_memoized(&cache, &k);
+        let hit = reg.predict_memoized(&cache, &k);
+        assert_eq!(direct.0.to_bits(), miss.0.to_bits());
+        assert_eq!(direct.0.to_bits(), hit.0.to_bits());
+        assert_eq!(direct.1, hit.1);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let cache = MemoCache::new();
+        cache.get_or_insert_with(MemoKey::of(&KernelSpec::gemm(8, 8, 8)), || {
+            (1.0, Confidence::Calibrated)
+        });
+        cache.clear();
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (0, 0, 0));
+    }
+
+    #[test]
+    fn concurrent_hits_agree() {
+        let reg = std::sync::Arc::new(ModelRegistry::calibrate(
+            &DeviceSpec::v100(),
+            crate::CalibrationEffort::Quick,
+            5,
+        ));
+        let cache = std::sync::Arc::new(MemoCache::new());
+        let specs: Vec<KernelSpec> =
+            (0..32).map(|i| KernelSpec::gemm(64 + i % 4, 64, 64)).collect();
+        let baseline: Vec<u64> =
+            specs.iter().map(|k| reg.predict_with_confidence(k).0.to_bits()).collect();
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let (reg, cache, specs, baseline) =
+                (reg.clone(), cache.clone(), specs.clone(), baseline.clone());
+            handles.push(std::thread::spawn(move || {
+                for (k, &want) in specs.iter().zip(&baseline) {
+                    let (t, _) = reg.predict_memoized(&cache, k);
+                    assert_eq!(t.to_bits(), want);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(cache.stats().entries, 4, "four distinct GEMM shapes");
+    }
+}

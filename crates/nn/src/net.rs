@@ -231,4 +231,42 @@ mod tests {
         let x = Matrix::from_rows(&[vec![0.1, 0.2, 0.3]]).unwrap();
         assert_eq!(a.forward(&x, false), b.forward(&x, false));
     }
+
+    // The sweep engine shares one calibrated registry (and hence the
+    // Mlp-backed kernel models inside it) across worker threads through
+    // `&` references: the inference path must be `Sync` and remain so.
+    #[test]
+    fn inference_types_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Mlp>();
+        assert_send_sync::<Matrix>();
+        assert_send_sync::<crate::train::TrainedModel>();
+    }
+
+    // ...and pure: concurrent `infer` through a shared reference must be
+    // bitwise identical to sequential calls (no interior mutability, no
+    // global state). This is the property the memo cache's determinism
+    // contract stands on.
+    #[test]
+    fn shared_concurrent_inference_is_bitwise_pure() {
+        let mlp = Mlp::new(4, 1, 16, 7);
+        let xs: Vec<Matrix> = (0..8)
+            .map(|i| {
+                Matrix::from_rows(&[vec![i as f64, 0.5, -1.25, 2.0_f64.powi(i)]]).unwrap()
+            })
+            .collect();
+        let sequential: Vec<u64> =
+            xs.iter().map(|x| mlp.infer(x).at(0, 0).to_bits()).collect();
+        let concurrent: Vec<u64> = std::thread::scope(|s| {
+            let handles: Vec<_> = xs
+                .iter()
+                .map(|x| {
+                    let mlp = &mlp;
+                    s.spawn(move || mlp.infer(x).at(0, 0).to_bits())
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(sequential, concurrent);
+    }
 }

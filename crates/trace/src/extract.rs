@@ -13,7 +13,7 @@
 //! GPU events, the empirical 2 µs for CPU events), and stores per-op-type
 //! means in a JSON-serializable database.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
@@ -70,10 +70,16 @@ pub struct OverheadStat {
 }
 
 /// The overhead database extracted from traces: per-op and per-type stats.
+///
+/// Backed by `BTreeMap`s (not `HashMap`s) on purpose: statistics are
+/// *accumulated* in map iteration order, and floating-point sums are not
+/// associative — hash-order iteration would make the extracted means vary
+/// bitwise from process to process, breaking checkpoint digests and golden
+/// snapshots. Ordered maps pin the summation order once and for all.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct OverheadStats {
-    per_op: HashMap<String, HashMap<OverheadType, OverheadStat>>,
-    per_type: HashMap<OverheadType, OverheadStat>,
+    per_op: BTreeMap<String, BTreeMap<OverheadType, OverheadStat>>,
+    per_type: BTreeMap<OverheadType, OverheadStat>,
 }
 
 impl OverheadStats {
@@ -86,7 +92,7 @@ impl OverheadStats {
         let prof_cpu = if profiled { PROFILER_CPU_EST_US } else { 0.0 };
         let prof_gpu = if profiled { PROFILER_GPU_EST_US } else { 0.0 };
 
-        let mut samples: HashMap<(String, OverheadType), Vec<f64>> = HashMap::new();
+        let mut samples: BTreeMap<(String, OverheadType), Vec<f64>> = BTreeMap::new();
         let mut push = |key: &str, ty: OverheadType, v: f64| {
             samples.entry((key.to_string(), ty)).or_default().push(v.max(0.0));
         };
@@ -120,8 +126,8 @@ impl OverheadStats {
             }
         }
 
-        let mut per_op: HashMap<String, HashMap<OverheadType, OverheadStat>> = HashMap::new();
-        let mut per_type_samples: HashMap<OverheadType, Vec<f64>> = HashMap::new();
+        let mut per_op: BTreeMap<String, BTreeMap<OverheadType, OverheadStat>> = BTreeMap::new();
+        let mut per_type_samples: BTreeMap<OverheadType, Vec<f64>> = BTreeMap::new();
         for ((key, ty), vals) in samples {
             let kept = iqr_filter(&vals);
             per_type_samples.entry(ty).or_default().extend(kept.iter().copied());
@@ -200,8 +206,8 @@ impl OverheadStats {
     /// (sample-count-weighted), the paper's `shared_E2E` configuration.
     pub fn merge(all: &[&OverheadStats]) -> OverheadStats {
         let mut out = OverheadStats::default();
-        let mut acc: HashMap<(String, OverheadType), (f64, f64, usize)> = HashMap::new();
-        let mut type_acc: HashMap<OverheadType, (f64, f64, usize)> = HashMap::new();
+        let mut acc: BTreeMap<(String, OverheadType), (f64, f64, usize)> = BTreeMap::new();
+        let mut type_acc: BTreeMap<OverheadType, (f64, f64, usize)> = BTreeMap::new();
         for stats in all {
             for (key, m) in &stats.per_op {
                 for (ty, s) in m {

@@ -1,0 +1,110 @@
+//! Golden snapshot tests: bitwise-pinned predictions for the two
+//! documented entry points (the README quickstart and the
+//! `whatif_batch_and_device` sweep).
+//!
+//! Every f64 is stored as the 16-hex-digit big-endian bit pattern of
+//! `f64::to_bits` — not as a decimal — so the comparison is exact and
+//! immune to the vendored JSON writer's number formatting. A golden
+//! mismatch therefore means the prediction pipeline changed *bitwise*:
+//! either an intended model change (regenerate, review the diff, commit)
+//! or an accidental nondeterminism/reordering bug (fix it).
+//!
+//! Regenerate with:
+//!
+//! ```sh
+//! UPDATE_GOLDEN=1 cargo test --test golden_snapshots
+//! git diff tests/golden/   # review before committing
+//! ```
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+use dlrm_perf_model::core::pipeline::Pipeline;
+use dlrm_perf_model::core::sweep::{GraphMutation, ScenarioMatrix, SweepEngine};
+use dlrm_perf_model::gpusim::DeviceSpec;
+use dlrm_perf_model::kernels::CalibrationEffort;
+use dlrm_perf_model::models::DlrmConfig;
+
+fn hex(x: f64) -> String {
+    format!("{:016x}", x.to_bits())
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden").join(name)
+}
+
+/// Compares `actual` against the stored snapshot, or rewrites the
+/// snapshot when `UPDATE_GOLDEN=1`.
+fn check_golden(name: &str, actual: &BTreeMap<String, String>) {
+    let path = golden_path(name);
+    let rendered = serde_json::to_string(actual).expect("serializable snapshot");
+    if std::env::var("UPDATE_GOLDEN").as_deref() == Ok("1") {
+        std::fs::create_dir_all(path.parent().unwrap()).expect("mkdir tests/golden");
+        std::fs::write(&path, &rendered).expect("write golden");
+        return;
+    }
+    let stored = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {} ({e}); regenerate with UPDATE_GOLDEN=1 cargo test --test golden_snapshots",
+            path.display()
+        )
+    });
+    let expected: BTreeMap<String, String> =
+        serde_json::from_str(&stored).expect("golden parses");
+    assert_eq!(
+        actual, &expected,
+        "golden {name} mismatch — if the model change is intended, regenerate \
+         with UPDATE_GOLDEN=1 and review the diff"
+    );
+}
+
+#[test]
+fn quickstart_prediction_is_bitwise_stable() {
+    // The README quickstart, pinned: V100, default DLRM config, batch 1024.
+    let workloads = vec![DlrmConfig::default_config(1024).build()];
+    let pipeline =
+        Pipeline::analyze(&DeviceSpec::v100(), &workloads, CalibrationEffort::Quick, 20, 7);
+    let pred = pipeline.predict(&workloads[0]).expect("lowers");
+    let mut snap = BTreeMap::new();
+    snap.insert("e2e_us".to_string(), hex(pred.e2e_us));
+    snap.insert("active_us".to_string(), hex(pred.active_us));
+    snap.insert("cpu_us".to_string(), hex(pred.cpu_us));
+    snap.insert("gpu_us".to_string(), hex(pred.gpu_us));
+    snap.insert("degraded_kernels".to_string(), pred.degraded_kernels.to_string());
+    check_golden("quickstart.json", &snap);
+}
+
+#[test]
+fn whatif_batch_and_device_sweep_is_bitwise_stable() {
+    // The `whatif_batch_and_device` example's matrix, shrunk to test scale
+    // and pinned per scenario label.
+    // Per-table embedding bags (not the pre-fused batched op) so the
+    // `fused` variant has something to fuse.
+    let base = DlrmConfig {
+        rows_per_table: vec![200_000; 4],
+        batched_embedding: false,
+        ..DlrmConfig::default_config(512)
+    }
+    .build();
+    let pipelines: Vec<Pipeline> = [DeviceSpec::v100(), DeviceSpec::p100()]
+        .iter()
+        .map(|d| {
+            Pipeline::analyze(d, std::slice::from_ref(&base), CalibrationEffort::Quick, 8, 13)
+        })
+        .collect();
+    let engine = SweepEngine::new(pipelines).with_threads(4);
+    let scenarios = ScenarioMatrix::new()
+        .device("V100", 0)
+        .device("P100", 1)
+        .batches(&[256, 1024])
+        .variant("base", vec![])
+        .variant("fused", vec![GraphMutation::FuseEmbeddingBags])
+        .build();
+    let out = engine.run(&base, &scenarios);
+    let mut snap = BTreeMap::new();
+    for r in out.expect_complete() {
+        let p = r.expect_prediction();
+        snap.insert(r.label.clone(), hex(p.e2e_us));
+    }
+    check_golden("whatif_batch_and_device.json", &snap);
+}

@@ -1,0 +1,173 @@
+//! Property tests for the sweep engine's determinism contract.
+//!
+//! The engine's promises (see `dlperf_core::sweep`): the parallel sweep is
+//! bitwise identical to the sequential one at any thread count, with the
+//! memo cache on or off; and predicted step time is monotone in batch
+//! size. Scenario axes are randomized, results compared by f64 bit
+//! pattern — any nondeterminism (shared-state mutation, float reassociation,
+//! result misordering) fails the suite.
+
+use std::sync::OnceLock;
+
+use dlrm_perf_model::core::pipeline::Pipeline;
+use dlrm_perf_model::core::sweep::{GraphMutation, ScenarioMatrix, SweepEngine, SweepOutcome};
+use dlrm_perf_model::gpusim::DeviceSpec;
+use dlrm_perf_model::graph::Graph;
+use dlrm_perf_model::kernels::CalibrationEffort;
+use dlrm_perf_model::models::DlrmConfig;
+use dlrm_perf_model::runtime::CancellationToken;
+use proptest::prelude::*;
+
+/// One shared calibration (the expensive part); each case clones the
+/// pipeline into a fresh engine.
+fn base() -> &'static (Pipeline, Graph) {
+    static BASE: OnceLock<(Pipeline, Graph)> = OnceLock::new();
+    BASE.get_or_init(|| {
+        let g = DlrmConfig {
+            rows_per_table: vec![200_000; 4],
+            ..DlrmConfig::default_config(512)
+        }
+        .build();
+        let pipe = Pipeline::analyze(
+            &DeviceSpec::v100(),
+            std::slice::from_ref(&g),
+            CalibrationEffort::Quick,
+            8,
+            31,
+        );
+        (pipe, g)
+    })
+}
+
+fn engine() -> SweepEngine {
+    SweepEngine::new(vec![base().0.clone()])
+}
+
+/// Full bitwise fingerprint of an outcome: labels, prediction bits, errors.
+fn fingerprint(o: &SweepOutcome) -> Vec<(String, Option<u64>, Option<String>)> {
+    o.results
+        .iter()
+        .map(|r| {
+            let r = r.as_ref().expect("complete run");
+            (
+                r.label.clone(),
+                r.prediction.as_ref().map(|p| p.e2e_us.to_bits()),
+                r.error.clone(),
+            )
+        })
+        .collect()
+}
+
+/// Non-empty subsets of the batch axis, driven by a 6-bit mask (the
+/// vendored proptest has no `sample::subsequence`).
+fn batch_axis() -> impl Strategy<Value = Vec<u64>> {
+    const ALL: [u64; 6] = [64, 128, 256, 512, 1024, 2048];
+    (1usize..64).prop_map(|mask| {
+        ALL.iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, &b)| b)
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn parallel_matches_sequential_bitwise_at_1_2_8_threads(
+        batches in batch_axis(),
+        hoist in (0u8..2).prop_map(|b| b == 1),
+    ) {
+        let (_, g) = base();
+        let mut m = ScenarioMatrix::new().device("V100", 0).batches(&batches)
+            .variant("base", vec![]);
+        if hoist {
+            m = m.variant("hoisted", vec![GraphMutation::HoistAll]);
+        }
+        let scenarios = m.build();
+        let reference = fingerprint(&engine().with_threads(1).run(g, &scenarios));
+        for threads in [2usize, 8] {
+            let par = fingerprint(&engine().with_threads(threads).run(g, &scenarios));
+            prop_assert_eq!(&par, &reference, "{} threads diverged", threads);
+        }
+    }
+
+    #[test]
+    fn cache_on_equals_cache_off_bitwise(batches in batch_axis()) {
+        let (_, g) = base();
+        let scenarios = ScenarioMatrix::new()
+            .device("V100", 0)
+            .batches(&batches)
+            .variant("base", vec![])
+            .variant("fused", vec![GraphMutation::FuseEmbeddingBags])
+            .build();
+        let cached = engine().with_cache(true).with_threads(4).run(g, &scenarios);
+        let uncached = engine().with_cache(false).with_threads(4).run(g, &scenarios);
+        prop_assert_eq!(fingerprint(&cached), fingerprint(&uncached));
+    }
+
+    #[test]
+    fn step_time_is_monotone_in_batch(start in 0usize..2) {
+        let all = [64u64, 128, 256, 512, 1024, 2048];
+        let batches = &all[start..];
+        let (_, g) = base();
+        let scenarios =
+            ScenarioMatrix::new().device("V100", 0).batches(batches).build();
+        let out = engine().run(g, &scenarios);
+        let times: Vec<f64> = out
+            .expect_complete()
+            .iter()
+            .map(|r| r.expect_prediction().e2e_us)
+            .collect();
+        for w in times.windows(2) {
+            prop_assert!(
+                w[1] >= w[0],
+                "step time decreased with batch: {:?} (batches {:?})",
+                times,
+                batches
+            );
+        }
+    }
+
+    #[test]
+    fn cancelled_runs_agree_with_sequential_on_completed_slots(
+        batches in batch_axis(),
+    ) {
+        let (_, g) = base();
+        let scenarios =
+            ScenarioMatrix::new().device("V100", 0).batches(&batches).build();
+        let reference = engine().run_sequential(g, &scenarios);
+        let token = CancellationToken::new();
+        token.cancel();
+        let cancelled =
+            engine().with_cancellation(token).with_threads(2).run(g, &scenarios);
+        prop_assert!(cancelled.cancelled);
+        for (i, slot) in cancelled.results.iter().enumerate() {
+            if let Some(r) = slot {
+                let want = reference.results[i].as_ref().unwrap();
+                prop_assert_eq!(
+                    r.prediction.as_ref().map(|p| p.e2e_us.to_bits()),
+                    want.prediction.as_ref().map(|p| p.e2e_us.to_bits())
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn cache_hit_rate_climbs_across_repeated_runs() {
+    let (_, g) = base();
+    let eng = engine();
+    let scenarios = ScenarioMatrix::new()
+        .device("V100", 0)
+        .batches(&[256, 512])
+        .variant("base", vec![])
+        .build();
+    let first = eng.run(g, &scenarios);
+    let second = eng.run(g, &scenarios);
+    let s1 = first.cache.unwrap();
+    let s2 = second.cache.unwrap();
+    assert!(s2.hits > s1.hits, "second run must hit: {s1} then {s2}");
+    assert_eq!(s2.misses, s1.misses, "second run must add no misses");
+}
