@@ -1,0 +1,68 @@
+//! CI bench-regression gate.
+//!
+//! Compares a freshly generated bench JSON against the committed baseline
+//! and exits non-zero when a gated metric regressed beyond the tolerance:
+//!
+//! ```text
+//! bench_gate <baseline.json> <fresh.json> [tolerance]
+//! ```
+//!
+//! Gated keys: `speedup` and `memo_speedup`. A key missing from either
+//! document is skipped, so the gate keeps working across baselines that
+//! predate a metric.
+//!
+//! `incremental_speedup` and `batched_speedup` are recorded but not gated
+//! here: the bench itself hard-asserts the incremental path is ≥2× and
+//! bitwise identical on every run (that assertion, not this diff, is the
+//! regression protection), and both are sub-millisecond microbench ratios
+//! whose run-to-run noise band on shared CI runners is wider than any
+//! useful gate tolerance.
+
+use std::process::ExitCode;
+
+const GATED_KEYS: [&str; 2] = ["speedup", "memo_speedup"];
+const DEFAULT_TOLERANCE: f64 = 0.10;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let (Some(baseline_path), Some(fresh_path)) = (args.get(1), args.get(2)) else {
+        eprintln!("usage: bench_gate <baseline.json> <fresh.json> [tolerance]");
+        return ExitCode::from(2);
+    };
+    let tolerance: f64 = match args.get(3) {
+        Some(t) => match t.parse() {
+            Ok(v) => v,
+            Err(_) => {
+                eprintln!("bench_gate: tolerance `{t}` is not a number");
+                return ExitCode::from(2);
+            }
+        },
+        None => DEFAULT_TOLERANCE,
+    };
+    let read = |path: &str| match std::fs::read_to_string(path) {
+        Ok(s) => Some(s),
+        Err(e) => {
+            eprintln!("bench_gate: cannot read {path}: {e}");
+            None
+        }
+    };
+    let (Some(baseline), Some(fresh)) = (read(baseline_path), read(fresh_path)) else {
+        return ExitCode::from(2);
+    };
+    match dlperf_bench::check_regression(&baseline, &fresh, &GATED_KEYS, tolerance) {
+        Ok(report) => {
+            println!("bench gate passed ({:.0}% tolerance):", tolerance * 100.0);
+            for line in report {
+                println!("  {line}");
+            }
+            ExitCode::SUCCESS
+        }
+        Err(failures) => {
+            eprintln!("bench gate FAILED ({:.0}% tolerance):", tolerance * 100.0);
+            for line in failures {
+                eprintln!("  {line}");
+            }
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -136,3 +136,75 @@ pub fn header(title: &str) {
     println!("{title}");
     println!("{}", "=".repeat(78));
 }
+
+/// Compares a freshly generated bench JSON against a committed baseline:
+/// for every listed key present in **both** documents, the fresh value must
+/// not fall more than `tolerance` (fractional, e.g. 0.10) below the
+/// baseline. Keys absent from either side are skipped, so newly added
+/// metrics do not fail against historical baselines, and retired metrics do
+/// not block fresh runs. Values may be JSON numbers or stringified numbers
+/// (the bench emitters write strings).
+///
+/// Returns the per-key report lines on success, the failures otherwise.
+///
+/// # Errors
+/// Returns the failure lines when any gated metric regressed beyond
+/// `tolerance`, or when either document fails to parse.
+pub fn check_regression(
+    baseline_json: &str,
+    fresh_json: &str,
+    keys: &[&str],
+    tolerance: f64,
+) -> Result<Vec<String>, Vec<String>> {
+    let parse = |name: &str, doc: &str| {
+        serde::value::parse(doc).map_err(|e| vec![format!("{name}: unparseable JSON: {e}")])
+    };
+    let baseline = parse("baseline", baseline_json)?;
+    let fresh = parse("fresh", fresh_json)?;
+    let number = |doc: &serde::Value, key: &str| -> Option<f64> {
+        let v = doc.get(key)?;
+        v.as_f64().or_else(|| v.as_str()?.trim().parse().ok())
+    };
+    let mut report = Vec::new();
+    let mut failures = Vec::new();
+    for &key in keys {
+        let (Some(base), Some(new)) = (number(&baseline, key), number(&fresh, key)) else {
+            report.push(format!("{key}: skipped (missing on one side)"));
+            continue;
+        };
+        let floor = base * (1.0 - tolerance);
+        let line = format!(
+            "{key}: baseline {base:.3}, fresh {new:.3}, floor {floor:.3} ({:+.1}%)",
+            (new / base - 1.0) * 100.0
+        );
+        if new < floor {
+            failures.push(format!("REGRESSION {line}"));
+        } else {
+            report.push(format!("ok {line}"));
+        }
+    }
+    if failures.is_empty() {
+        Ok(report)
+    } else {
+        failures.extend(report);
+        Err(failures)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn regression_gate_flags_only_drops_beyond_tolerance() {
+        let baseline = r#"{"speedup":"2.0","memo_speedup":"3.0","other":"x"}"#;
+        let ok_fresh = r#"{"speedup":"1.9","memo_speedup":"9.9"}"#;
+        let keys = ["speedup", "memo_speedup", "incremental_speedup"];
+        let report = super::check_regression(baseline, ok_fresh, &keys, 0.10).expect("within");
+        assert!(report.iter().any(|l| l.contains("incremental_speedup: skipped")));
+
+        let bad_fresh = r#"{"speedup":"1.7","memo_speedup":"3.0"}"#;
+        let failures = super::check_regression(baseline, bad_fresh, &keys, 0.10).unwrap_err();
+        assert!(failures[0].contains("REGRESSION speedup"), "{failures:?}");
+
+        assert!(super::check_regression("not json", ok_fresh, &keys, 0.1).is_err());
+    }
+}

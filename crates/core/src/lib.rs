@@ -36,15 +36,17 @@
 
 pub mod baselines;
 pub mod codesign;
+pub mod incremental;
 pub mod pipeline;
 pub mod predictor;
 pub mod report;
 pub mod sweep;
 
+pub use incremental::{IncrementalPredictor, IncrementalStats};
 pub use pipeline::{AnalysisJob, AnalysisReport, AnalysisState, Pipeline, PipelineError};
 pub use predictor::{E2ePredictor, OverheadGranularity, Prediction, T4Policy};
 pub use report::{ErrorSummary, PredictionRow};
 pub use sweep::{
-    par_map, GraphMutation, Scenario, ScenarioMatrix, ScenarioResult, SweepEngine, SweepOutcome,
-    SweepState,
+    par_map, GraphMutation, IncrementalSummary, Scenario, ScenarioMatrix, ScenarioResult,
+    SweepEngine, SweepOutcome, SweepState,
 };

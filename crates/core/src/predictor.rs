@@ -13,10 +13,8 @@
 //! data dependencies (from the execution graph), both of which degenerate
 //! to Algorithm 1 on single-stream graphs.
 
-use std::collections::HashMap;
-
 use dlperf_graph::lower::{self, LowerError};
-use dlperf_graph::{Graph, TensorId};
+use dlperf_graph::{Graph, Node, TensorId};
 use dlperf_gpusim::KernelSpec;
 use dlperf_kernels::{Confidence, MemoCache, ModelRegistry};
 use dlperf_trace::{OverheadStats, OverheadType};
@@ -160,12 +158,22 @@ impl E2ePredictor {
         }
     }
 
+    /// The inter-kernel device gap (for the incremental walk).
+    pub(crate) fn kernel_gap(&self) -> f64 {
+        self.kernel_gap_us
+    }
+
+    /// The launch-point factor (for the incremental walk).
+    pub(crate) fn launch(&self) -> f64 {
+        self.launch_factor
+    }
+
     /// Predicts the per-batch training time of `graph` (Algorithm 1).
     ///
     /// # Errors
     /// Returns a [`LowerError`] if an op's tensor shapes are inconsistent.
     pub fn predict(&self, graph: &Graph) -> Result<Prediction, LowerError> {
-        self.predict_with(graph, |k| self.registry.predict_with_confidence(k))
+        self.predict_with_batch(graph, |specs| self.registry.predict_batch_with_confidence(specs))
     }
 
     /// Like [`E2ePredictor::predict`], but answering kernel-model queries
@@ -180,74 +188,70 @@ impl E2ePredictor {
         graph: &Graph,
         cache: &MemoCache,
     ) -> Result<Prediction, LowerError> {
-        self.predict_with(graph, |k| self.registry.predict_memoized(cache, k))
+        self.predict_with_batch(graph, |specs| self.registry.predict_batch_memoized(cache, specs))
     }
 
-    /// The Algorithm 1 walk, parameterized over the kernel evaluator so
-    /// the direct and memoized paths share one implementation.
-    fn predict_with(
+    /// Assembles the cost bundle of one node from its op key and the
+    /// already-evaluated kernel times. Pure in `(op key, kernels)`: two
+    /// structurally identical nodes get bitwise identical bundles, the
+    /// property incremental re-prediction's prefix/suffix reuse rests on.
+    pub(crate) fn node_cost(&self, op_key: &str, kernels: Vec<(f64, Confidence)>) -> NodeCosts {
+        NodeCosts {
+            t1: self.overhead(op_key, OverheadType::T1),
+            t2: self.overhead(op_key, OverheadType::T2),
+            t3: self.overhead(op_key, OverheadType::T3),
+            t4: self.t4(op_key),
+            t5: self.overhead(op_key, OverheadType::T5),
+            kernels,
+        }
+    }
+
+    /// Lowers every node and prices all kernels in **one** evaluator call:
+    /// the evaluator sees the concatenated kernel list of the whole graph
+    /// (in node order), which lets it batch per-family MLP inference and
+    /// memo-cache traffic instead of going kernel by kernel.
+    ///
+    /// # Errors
+    /// Returns a [`LowerError`] on malformed graphs.
+    pub(crate) fn node_costs_batch(
         &self,
         graph: &Graph,
-        eval: impl Fn(&KernelSpec) -> (f64, Confidence),
-    ) -> Result<Prediction, LowerError> {
-        let mut cpu = 0.0f64;
-        let mut streams: HashMap<usize, f64> = HashMap::new();
-        let mut tensor_ready: HashMap<TensorId, f64> = HashMap::new();
-        let mut active = 0.0f64;
-        let mut degraded_kernels = 0usize;
-
+        eval: impl FnOnce(&[KernelSpec]) -> Vec<(f64, Confidence)>,
+    ) -> Result<Vec<NodeCosts>, LowerError> {
+        let mut specs: Vec<KernelSpec> = Vec::new();
+        let mut ranges: Vec<std::ops::Range<usize>> = Vec::with_capacity(graph.node_count());
         for node in graph.nodes() {
-            let key = node.op.overhead_key();
-            cpu += self.overhead(key, OverheadType::T1);
-
-            let kernels = lower::try_kernels(graph, node)?;
-            let dep_ready = node
-                .inputs
-                .iter()
-                .filter_map(|t| tensor_ready.get(t))
-                .fold(0.0f64, |a, &b| a.max(b));
-
-            let mut last_end: Option<f64> = None;
-            if kernels.is_empty() {
-                cpu += self.overhead(key, OverheadType::T5);
-            } else {
-                cpu += self.overhead(key, OverheadType::T2);
-                let t4 = self.t4(key);
-                let n = kernels.len();
-                for (i, k) in kernels.into_iter().enumerate() {
-                    // Degraded fallback instead of a panic when a family
-                    // has no calibrated model; counted, not fatal.
-                    let (t_k, conf) = eval(&k);
-                    if conf == Confidence::Degraded {
-                        degraded_kernels += 1;
-                    }
-                    active += t_k;
-                    let gpu = streams.entry(node.stream).or_insert(0.0);
-                    let start = (*gpu + self.kernel_gap_us).max(cpu + self.launch_factor * t4).max(dep_ready);
-                    *gpu = start + t_k;
-                    last_end = Some(start + t_k);
-                    cpu += t4;
-                    if i + 1 < n {
-                        cpu += self.overhead(key, OverheadType::T5);
-                    }
-                }
-                cpu += self.overhead(key, OverheadType::T3);
-            }
-
-            let ready = last_end.unwrap_or(cpu);
-            for &out in &node.outputs {
-                tensor_ready.insert(out, ready);
-            }
+            let start = specs.len();
+            specs.extend(lower::try_kernels(graph, node)?);
+            ranges.push(start..specs.len());
         }
+        let mut values = eval(&specs).into_iter();
+        Ok(graph
+            .nodes()
+            .iter()
+            .zip(ranges)
+            .map(|(node, r)| {
+                let kernels: Vec<(f64, Confidence)> = values.by_ref().take(r.len()).collect();
+                self.node_cost(node.op.overhead_key(), kernels)
+            })
+            .collect())
+    }
 
-        let gpu = streams.values().fold(0.0f64, |a, &b| a.max(b));
-        Ok(Prediction {
-            e2e_us: cpu.max(gpu),
-            active_us: active,
-            cpu_us: cpu,
-            gpu_us: gpu,
-            degraded_kernels,
-        })
+    /// The Algorithm 1 walk in two phases: lower + batch-evaluate every
+    /// kernel, then step the clocks node by node. The stepping arithmetic
+    /// lives in [`WalkState::step`], shared with the incremental predictor
+    /// so the two paths cannot drift.
+    fn predict_with_batch(
+        &self,
+        graph: &Graph,
+        eval: impl FnOnce(&[KernelSpec]) -> Vec<(f64, Confidence)>,
+    ) -> Result<Prediction, LowerError> {
+        let costs = self.node_costs_batch(graph, eval)?;
+        let mut state = WalkState::new();
+        for (node, c) in graph.nodes().iter().zip(&costs) {
+            state.step(node, c, self.kernel_gap_us, self.launch_factor);
+        }
+        Ok(state.finish())
     }
 
     /// Predicted GPU active time alone (the sum of kernel predictions) —
@@ -263,6 +267,156 @@ impl E2ePredictor {
             }
         }
         Ok(total)
+    }
+}
+
+/// The priced cost bundle of one node: its five launch overheads and the
+/// predicted `(time, confidence)` of each kernel it launches, in launch
+/// order. Pure in the node's structural signature — which is why the
+/// incremental predictor may reuse a baseline node's bundle verbatim for
+/// any structurally identical node.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct NodeCosts {
+    pub(crate) t1: f64,
+    pub(crate) t2: f64,
+    pub(crate) t3: f64,
+    pub(crate) t4: f64,
+    pub(crate) t5: f64,
+    pub(crate) kernels: Vec<(f64, Confidence)>,
+}
+
+/// "No readiness recorded" sentinel for the dense tensor-ready table.
+/// Never a legitimate readiness value (those are finite, non-negative
+/// clock times), and absorbed bitwise-neutrally by the `max` folds below:
+/// `max(x, -inf) == x` and the fold still starts at `0.0`.
+pub(crate) const NOT_READY: f64 = f64::NEG_INFINITY;
+
+/// The mutable clock state of an Algorithm 1 walk. [`WalkState::step`] is
+/// the *only* place the stepping arithmetic exists; the full predictor and
+/// the incremental predictor both drive it, which is what makes incremental
+/// re-prediction bitwise identical to a fresh walk by construction.
+///
+/// The containers are deliberately flat — a linear-scanned vec for the
+/// handful of streams and a [`TensorId`]-indexed table for readiness —
+/// because the walk and the incremental predictor's state replay are
+/// container-bound, not float-bound, and hashing dominated both. Container
+/// choice cannot affect results: every fold over them (`dep_ready`,
+/// [`WalkState::finish`]) is a `max`, which is order-independent for the
+/// finite non-negative values stored here.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct WalkState {
+    pub(crate) cpu: f64,
+    /// Per-stream GPU clock, keyed by stream id, in first-touch order.
+    pub(crate) streams: Vec<(usize, f64)>,
+    /// Readiness time per tensor, indexed by [`TensorId`]; [`NOT_READY`]
+    /// where no producer has run.
+    pub(crate) tensor_ready: Vec<f64>,
+    pub(crate) active: f64,
+    pub(crate) degraded: usize,
+}
+
+impl WalkState {
+    pub(crate) fn new() -> Self {
+        WalkState {
+            cpu: 0.0,
+            streams: Vec::new(),
+            tensor_ready: Vec::new(),
+            active: 0.0,
+            degraded: 0,
+        }
+    }
+
+    /// Sets a stream's clock, creating the slot on first touch.
+    pub(crate) fn set_stream(&mut self, stream: usize, clock: f64) {
+        match self.streams.iter_mut().find(|(s, _)| *s == stream) {
+            Some(slot) => slot.1 = clock,
+            None => self.streams.push((stream, clock)),
+        }
+    }
+
+    /// The clock of `stream`, if any kernel has launched on it.
+    pub(crate) fn stream_clock(&self, stream: usize) -> Option<f64> {
+        self.streams.iter().find(|&&(s, _)| s == stream).map(|&(_, c)| c)
+    }
+
+    /// Records the readiness time of one tensor.
+    pub(crate) fn set_ready(&mut self, t: TensorId, ready: f64) {
+        if t.0 >= self.tensor_ready.len() {
+            self.tensor_ready.resize(t.0 + 1, NOT_READY);
+        }
+        self.tensor_ready[t.0] = ready;
+    }
+
+    /// The recorded readiness bits of one tensor, `None` if unwritten.
+    pub(crate) fn ready_bits(&self, t: TensorId) -> Option<u64> {
+        self.tensor_ready
+            .get(t.0)
+            .map(|v| v.to_bits())
+            .filter(|&b| b != NOT_READY.to_bits())
+    }
+
+    /// Advances the clocks over one node. The float operation sequence is
+    /// frozen: any reordering (even an algebraically neutral one) changes
+    /// low bits and breaks the determinism contract pinned by the golden
+    /// snapshots.
+    pub(crate) fn step(&mut self, node: &Node, costs: &NodeCosts, gap_us: f64, launch_factor: f64) {
+        self.cpu += costs.t1;
+
+        let dep_ready = node
+            .inputs
+            .iter()
+            .map(|t| self.tensor_ready.get(t.0).copied().unwrap_or(NOT_READY))
+            .fold(0.0f64, |a, b| a.max(b));
+
+        let mut last_end: Option<f64> = None;
+        if costs.kernels.is_empty() {
+            self.cpu += costs.t5;
+        } else {
+            self.cpu += costs.t2;
+            let n = costs.kernels.len();
+            let si = match self.streams.iter().position(|&(s, _)| s == node.stream) {
+                Some(i) => i,
+                None => {
+                    self.streams.push((node.stream, 0.0));
+                    self.streams.len() - 1
+                }
+            };
+            for (i, &(t_k, conf)) in costs.kernels.iter().enumerate() {
+                // Degraded fallback instead of a panic when a family
+                // has no calibrated model; counted, not fatal.
+                if conf == Confidence::Degraded {
+                    self.degraded += 1;
+                }
+                self.active += t_k;
+                let gpu = &mut self.streams[si].1;
+                let start =
+                    (*gpu + gap_us).max(self.cpu + launch_factor * costs.t4).max(dep_ready);
+                *gpu = start + t_k;
+                last_end = Some(start + t_k);
+                self.cpu += costs.t4;
+                if i + 1 < n {
+                    self.cpu += costs.t5;
+                }
+            }
+            self.cpu += costs.t3;
+        }
+
+        let ready = last_end.unwrap_or(self.cpu);
+        for &out in &node.outputs {
+            self.set_ready(out, ready);
+        }
+    }
+
+    /// Folds the final clock state into a [`Prediction`].
+    pub(crate) fn finish(&self) -> Prediction {
+        let gpu = self.streams.iter().fold(0.0f64, |a, &(_, b)| a.max(b));
+        Prediction {
+            e2e_us: self.cpu.max(gpu),
+            active_us: self.active,
+            cpu_us: self.cpu,
+            gpu_us: gpu,
+            degraded_kernels: self.degraded,
+        }
     }
 }
 

@@ -13,9 +13,12 @@
 //! With caching enabled the engine also *prepares graphs once*: scenarios
 //! with the same mutation list (e.g. the same `hoisted` variant priced on
 //! three devices) share one transformed graph instead of re-running the
-//! transform per cell. Graph transforms dominate scenario cost by orders
-//! of magnitude over a kernel-model query, so this sharing — not thread
-//! count — is the engine's biggest single-host win.
+//! transform per cell, and the prepared graphs persist across runs of the
+//! same engine on the same base graph (detected by graph-index identity),
+//! so steady-state re-sweeps skip the transform *and* the structural
+//! signature pass entirely. Graph transforms dominate scenario cost by
+//! orders of magnitude over a kernel-model query, so this sharing — not
+//! thread count — is the engine's biggest single-host win.
 //!
 //! **Determinism contract:** every scenario evaluation is a pure function
 //! of `(pipeline, base graph, scenario)`; results are written to the slot
@@ -29,18 +32,19 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use dlperf_graph::transform::{fuse_embedding_bags, hoist_earliest, resize_batch};
-use dlperf_graph::Graph;
-use dlperf_kernels::{MemoCache, MemoCacheStats};
+use dlperf_graph::transform::{fuse_embedding_bags, hoist_earliest, replace_op, resize_batch};
+use dlperf_graph::{Graph, NodeId, OpKind};
+use dlperf_kernels::{CachePadded, MemoCache, MemoCacheStats};
 use dlperf_runtime::{
     CancellationToken, JobContext, JobError, ResumableJob, RunReport, StepOutcome, Supervisor,
     SupervisorError,
 };
 use serde::{Deserialize, Serialize};
 
+use crate::incremental::{IncrementalPredictor, IncrementalStats};
 use crate::pipeline::Pipeline;
 use crate::predictor::Prediction;
 
@@ -53,6 +57,17 @@ pub enum GraphMutation {
     FuseEmbeddingBags,
     /// Hoist every movable op as early as its dependencies allow.
     HoistAll,
+    /// Hoist one node (by position) as early as its dependencies allow;
+    /// an immovable node is left in place, out-of-range is an error.
+    HoistNode(usize),
+    /// Replace the operator of the node at this position, keeping its
+    /// tensors — the canonical single-op what-if (e.g. an activation swap).
+    ReplaceOp {
+        /// Position of the node to rewrite.
+        node: usize,
+        /// The operator to substitute.
+        op: OpKind,
+    },
 }
 
 /// One cell of a what-if matrix: which pipeline prices which mutated
@@ -178,13 +193,45 @@ pub struct SweepOutcome {
     pub results: Vec<Option<ScenarioResult>>,
     /// Whether cancellation cut the sweep short.
     pub cancelled: bool,
-    /// Threads used.
+    /// Threads used (the *effective* count after the available-parallelism
+    /// cap, not the requested one).
     pub threads: usize,
     /// Wall-clock time of the run (milliseconds).
     pub wall_ms: f64,
     /// Merged cache counters at the end of the run (`None` with caching
     /// disabled). Counters accumulate across runs of the same engine.
     pub cache: Option<MemoCacheStats>,
+    /// Aggregate incremental re-prediction accounting (`None` when the
+    /// incremental path was off or no scenario went through it). Kept out
+    /// of [`ScenarioResult`] on purpose: results stay byte-identical on
+    /// disk whether or not the incremental fast path served them.
+    pub incremental: Option<IncrementalSummary>,
+}
+
+/// Aggregate accounting of the incremental fast path over one sweep run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IncrementalSummary {
+    /// Scenarios priced via [`IncrementalPredictor::repredict`].
+    pub scenarios: usize,
+    /// Nodes whose state/costs were reused from a baseline (prefix+suffix).
+    pub reused_nodes: usize,
+    /// Dirty nodes re-lowered and re-priced.
+    pub recomputed_nodes: usize,
+    /// Scenarios whose suffix walk was skipped by a proven bitwise splice.
+    pub spliced: usize,
+    /// Scenarios that degenerated to a full walk (nothing reusable).
+    pub full_fallbacks: usize,
+}
+
+impl IncrementalSummary {
+    /// Folds one re-prediction's stats into the aggregate.
+    pub fn absorb(&mut self, s: &IncrementalStats) {
+        self.scenarios += 1;
+        self.reused_nodes += s.prefix + s.suffix;
+        self.recomputed_nodes += s.recomputed;
+        self.spliced += usize::from(s.spliced);
+        self.full_fallbacks += usize::from(s.full_fallback);
+    }
 }
 
 impl SweepOutcome {
@@ -242,7 +289,9 @@ where
         return out;
     }
 
-    let next = AtomicUsize::new(0);
+    // Cache-line padding keeps the hammered claim counter off whatever
+    // line the channel internals or worker stacks land on.
+    let next = CachePadded(AtomicUsize::new(0));
     let (tx, rx) = crossbeam::channel::unbounded::<(usize, R)>();
     crossbeam::scope(|s| {
         for _ in 0..threads.min(items.len()) {
@@ -250,7 +299,7 @@ where
             let next = &next;
             let f = &f;
             s.spawn(move |_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
+                let i = next.0.fetch_add(1, Ordering::Relaxed);
                 if i >= items.len() || token.is_cancelled() {
                     return;
                 }
@@ -271,12 +320,40 @@ where
     out
 }
 
+/// Prepared graphs and incremental baselines persisted across runs of one
+/// engine, valid for a single base graph. The base is identified by its
+/// cached [`dlperf_graph::GraphIndex`] `Arc`: any structural mutation of
+/// the base drops that cache (see `Graph::index`), so a changed pointer
+/// means a changed base and clears the store. Holding the `Arc` keeps its
+/// address from being reused by a later allocation. Everything stored is a
+/// deterministic pure function of `(base, mutations)` / `(pipeline, base)`,
+/// so reuse is invisible in results.
+#[derive(Debug, Default)]
+struct PreparedStore {
+    base: Option<Arc<dlperf_graph::GraphIndex>>,
+    graphs: HashMap<Vec<GraphMutation>, Arc<Result<Graph, String>>>,
+    baselines: HashMap<usize, Arc<IncrementalPredictor>>,
+}
+
+impl PreparedStore {
+    /// Clears the store unless it was built for `base_index`'s graph.
+    fn rebase(&mut self, base_index: &Arc<dlperf_graph::GraphIndex>) {
+        if self.base.as_ref().is_none_or(|a| !Arc::ptr_eq(a, base_index)) {
+            self.base = Some(base_index.clone());
+            self.graphs.clear();
+            self.baselines.clear();
+        }
+    }
+}
+
 /// The parallel what-if sweep engine. See the module docs.
 pub struct SweepEngine {
     pipelines: Vec<Pipeline>,
     caches: Vec<Arc<MemoCache>>,
+    prepared: Mutex<PreparedStore>,
     threads: usize,
     use_cache: bool,
+    use_incremental: bool,
     token: CancellationToken,
     /// Scenarios evaluated per supervised checkpoint step.
     chunk: usize,
@@ -295,16 +372,43 @@ impl SweepEngine {
         SweepEngine {
             pipelines,
             caches,
+            prepared: Mutex::new(PreparedStore::default()),
             threads,
             use_cache: true,
+            use_incremental: true,
             token: CancellationToken::new(),
             chunk: 16,
         }
     }
 
     /// Sets the worker-thread count (builder style). 1 = sequential.
+    ///
+    /// The effective count is capped at the machine's available
+    /// parallelism: scenario pricing is CPU-bound, so oversubscribing a
+    /// small host makes the sweep *slower* (context-switch and cache churn
+    /// on the shared memo cache), not faster. Use
+    /// [`SweepEngine::with_threads_exact`] to bypass the cap — e.g. in
+    /// determinism tests, where scheduling chaos is the point.
     pub fn with_threads(mut self, threads: usize) -> Self {
+        let cap = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        self.threads = threads.clamp(1, cap);
+        self
+    }
+
+    /// Sets the worker-thread count with no available-parallelism cap
+    /// (builder style). 1 = sequential.
+    pub fn with_threads_exact(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Enables or disables the incremental fast path (builder style; on by
+    /// default). When on, cached runs checkpoint one baseline walk per
+    /// referenced device and price each scenario by dirty-frontier
+    /// re-prediction — bitwise identical to the full walk, so this toggle
+    /// changes speed and [`SweepOutcome::incremental`] accounting only.
+    pub fn with_incremental(mut self, on: bool) -> Self {
+        self.use_incremental = on;
         self
     }
 
@@ -348,11 +452,14 @@ impl SweepEngine {
         MemoCacheStats::merged(&all)
     }
 
-    /// Clears all per-device caches (counters included).
+    /// Clears all per-device caches (counters included) and the prepared
+    /// graph / baseline store.
     pub fn clear_caches(&self) {
         for c in &self.caches {
             c.clear();
         }
+        let mut store = self.prepared.lock().expect("prepared store poisoned");
+        *store = PreparedStore::default();
     }
 
     /// Applies a mutation list to the base graph — a deterministic pure
@@ -371,6 +478,22 @@ impl SweepEngine {
                     }
                     Ok(())
                 }
+                GraphMutation::HoistNode(i) => {
+                    if *i >= g.node_count() {
+                        Err(dlperf_graph::transform::TransformError::Precondition(format!(
+                            "node position {i} out of range ({} nodes)",
+                            g.node_count()
+                        )))
+                    } else {
+                        let id = g.nodes()[*i].id;
+                        // An immovable node is a no-op, like HoistAll.
+                        let _ = hoist_earliest(&mut g, id);
+                        Ok(())
+                    }
+                }
+                GraphMutation::ReplaceOp { node, op } => {
+                    replace_op(&mut g, NodeId(*node), *op, format!("replaced:{op:?}"))
+                }
             };
             if let Err(e) = r {
                 return Err(format!("transform failed: {e}"));
@@ -379,49 +502,70 @@ impl SweepEngine {
         Ok(g)
     }
 
-    /// Prices one prepared graph on the scenario's pipeline.
-    fn price(&self, s: &Scenario, prepared: &Result<Graph, String>) -> ScenarioResult {
+    /// Prices one prepared graph on the scenario's pipeline, through the
+    /// scenario device's incremental baseline when one is supplied. The
+    /// returned stats are `Some` exactly when the incremental path served
+    /// the prediction (values are bitwise identical either way).
+    fn price(
+        &self,
+        s: &Scenario,
+        prepared: &Result<Graph, String>,
+        baseline: Option<&IncrementalPredictor>,
+    ) -> (ScenarioResult, Option<IncrementalStats>) {
         if s.device >= self.pipelines.len() {
-            return ScenarioResult {
-                label: s.label.clone(),
-                prediction: None,
-                error: Some(format!(
-                    "device index {} out of range ({} pipelines)",
-                    s.device,
-                    self.pipelines.len()
-                )),
-            };
+            return (
+                ScenarioResult {
+                    label: s.label.clone(),
+                    prediction: None,
+                    error: Some(format!(
+                        "device index {} out of range ({} pipelines)",
+                        s.device,
+                        self.pipelines.len()
+                    )),
+                },
+                None,
+            );
         }
         let g = match prepared {
             Ok(g) => g,
             Err(e) => {
-                return ScenarioResult {
-                    label: s.label.clone(),
-                    prediction: None,
-                    error: Some(e.clone()),
-                }
+                return (
+                    ScenarioResult {
+                        label: s.label.clone(),
+                        prediction: None,
+                        error: Some(e.clone()),
+                    },
+                    None,
+                )
             }
         };
         let pipeline = &self.pipelines[s.device];
-        let pred = if self.use_cache {
+        let mut stats = None;
+        let pred = if let Some(b) = baseline {
+            b.repredict(g, self.use_cache.then(|| &*self.caches[s.device])).map(|(p, st)| {
+                stats = Some(st);
+                p
+            })
+        } else if self.use_cache {
             pipeline.predict_memoized(g, &self.caches[s.device])
         } else {
             pipeline.predict(g)
         };
-        match pred {
+        let result = match pred {
             Ok(p) => ScenarioResult { label: s.label.clone(), prediction: Some(p), error: None },
             Err(e) => ScenarioResult {
                 label: s.label.clone(),
                 prediction: None,
                 error: Some(format!("lowering failed: {e}")),
             },
-        }
+        };
+        (result, stats)
     }
 
     /// Prices one scenario end to end (transform + predict) — the shared
     /// pure function of the naive (cache-off) and supervised paths.
     fn eval(&self, base: &Graph, s: &Scenario) -> ScenarioResult {
-        self.price(s, &self.prepare(base, &s.mutations))
+        self.price(s, &self.prepare(base, &s.mutations), None).0
     }
 
     /// Runs the sweep on the configured thread count.
@@ -436,10 +580,14 @@ impl SweepEngine {
 
     fn run_on(&self, threads: usize, base: &Graph, scenarios: &[Scenario]) -> SweepOutcome {
         let start = Instant::now();
-        let results = if self.use_cache {
+        let mut summary = IncrementalSummary::default();
+        let results: Vec<Option<ScenarioResult>> = if self.use_cache {
             // Phase 1: prepare each distinct mutation list once, in
             // parallel — scenarios differing only in device share the
-            // transformed graph.
+            // transformed graph, and lists already prepared by an earlier
+            // run on this base are taken from the store as-is (their
+            // cached graph index rides along, so re-sweeps also skip the
+            // signature pass).
             let mut unique: Vec<&[GraphMutation]> = Vec::new();
             let mut index: HashMap<&[GraphMutation], usize> = HashMap::new();
             for s in scenarios {
@@ -448,30 +596,104 @@ impl SweepEngine {
                     unique.len() - 1
                 });
             }
-            let prepared =
-                par_map(threads, &self.token, &unique, |_, muts| self.prepare(base, muts));
-            // Phase 2: price every scenario against its prepared graph. A
-            // `None` prepared slot means cancellation hit phase 1; the
+            let base_index = base.index();
+            let stored: Vec<Option<Arc<Result<Graph, String>>>> = {
+                let mut store = self.prepared.lock().expect("prepared store poisoned");
+                store.rebase(&base_index);
+                unique.iter().map(|muts| store.graphs.get(*muts).cloned()).collect()
+            };
+            let missing: Vec<&[GraphMutation]> = unique
+                .iter()
+                .zip(&stored)
+                .filter(|(_, s)| s.is_none())
+                .map(|(m, _)| *m)
+                .collect();
+            let fresh = par_map(threads, &self.token, &missing, |_, muts| {
+                Arc::new(self.prepare(base, muts))
+            });
+            // A `None` prepared slot means cancellation hit phase 1; the
             // dependent scenarios stay unvisited (`None`), matching what a
             // cancelled sequential run leaves behind.
-            par_map(threads, &self.token, scenarios, |_, s| {
-                prepared[index[s.mutations.as_slice()]]
-                    .as_ref()
-                    .map(|graph| self.price(s, graph))
-            })
-            .into_iter()
-            .map(Option::flatten)
-            .collect()
+            let mut fresh_iter = fresh.into_iter();
+            let prepared: Vec<Option<Arc<Result<Graph, String>>>> = {
+                let mut store = self.prepared.lock().expect("prepared store poisoned");
+                unique
+                    .iter()
+                    .zip(stored)
+                    .map(|(muts, slot)| match slot {
+                        Some(g) => Some(g),
+                        None => {
+                            let g = fresh_iter.next().expect("one fresh slot per miss")?;
+                            store.graphs.insert(muts.to_vec(), g.clone());
+                            Some(g)
+                        }
+                    })
+                    .collect()
+            };
+            // One checkpointed baseline walk per device the scenario list
+            // references (reused across runs); pricing then recomputes only
+            // each scenario's dirty frontier. Skipped when the incremental
+            // path is off or the base graph fails to lower (pricing falls
+            // back to the plain memoized walk — same bits either way).
+            let baselines: Vec<Option<Arc<IncrementalPredictor>>> = (0..self.pipelines.len())
+                .map(|d| {
+                    if !(self.use_incremental
+                        && !self.token.is_cancelled()
+                        && scenarios.iter().any(|s| s.device == d))
+                    {
+                        return None;
+                    }
+                    if let Some(b) =
+                        self.prepared.lock().expect("prepared store poisoned").baselines.get(&d)
+                    {
+                        return Some(b.clone());
+                    }
+                    let b = IncrementalPredictor::with_cache(
+                        self.pipelines[d].predictor().clone(),
+                        base.clone(),
+                        &self.caches[d],
+                    )
+                    .ok()
+                    .map(Arc::new)?;
+                    self.prepared
+                        .lock()
+                        .expect("prepared store poisoned")
+                        .baselines
+                        .insert(d, b.clone());
+                    Some(b)
+                })
+                .collect();
+            // Phase 2: price every scenario against its prepared graph.
+            let priced: Vec<Option<(ScenarioResult, Option<IncrementalStats>)>> =
+                par_map(threads, &self.token, scenarios, |_, s| {
+                    prepared[index[s.mutations.as_slice()]].as_ref().map(|graph| {
+                        self.price(
+                            s,
+                            graph,
+                            baselines.get(s.device).and_then(|b| b.as_deref()),
+                        )
+                    })
+                })
+                .into_iter()
+                .map(Option::flatten)
+                .collect();
+            for slot in &priced {
+                if let Some((_, Some(stats))) = slot {
+                    summary.absorb(stats);
+                }
+            }
+            priced.into_iter().map(|slot| slot.map(|(result, _)| result)).collect()
         } else {
             par_map(threads, &self.token, scenarios, |_, s| self.eval(base, s))
         };
-        let cancelled = results.iter().any(|r: &Option<ScenarioResult>| r.is_none());
+        let cancelled = results.iter().any(|r| r.is_none());
         SweepOutcome {
             results,
             cancelled,
             threads,
             wall_ms: start.elapsed().as_secs_f64() * 1e3,
             cache: self.use_cache.then(|| self.cache_stats()),
+            incremental: (summary.scenarios > 0).then_some(summary),
         }
     }
 
@@ -612,8 +834,59 @@ mod tests {
             .variant("hoisted", vec![GraphMutation::HoistAll])
             .build();
         let seq = eng.run_sequential(&g, &scenarios);
-        let par = eng.with_threads(4).run(&g, &scenarios);
+        let par = eng.with_threads_exact(4).run(&g, &scenarios);
         assert_eq!(bits(&seq), bits(&par));
+    }
+
+    #[test]
+    fn with_threads_caps_at_available_parallelism() {
+        let (eng, _) = engine();
+        let cap = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        assert_eq!(eng.with_threads(4096).threads(), cap);
+        let (eng, _) = engine();
+        assert_eq!(eng.with_threads_exact(4096).threads(), 4096);
+    }
+
+    #[test]
+    fn incremental_on_off_bitwise_identical_with_summary() {
+        let (eng, g) = engine();
+        let mut scenarios = vec![Scenario::new("base", 0)];
+        for i in 0..4 {
+            scenarios.push(
+                Scenario::new(format!("swap{i}"), 0).with(GraphMutation::ReplaceOp {
+                    node: g.node_count() / 2 + i,
+                    op: OpKind::Sigmoid,
+                }),
+            );
+        }
+        let on = eng.run_sequential(&g, &scenarios);
+        let summary = on.incremental.expect("incremental path on by default");
+        assert!(summary.scenarios >= 1 && summary.scenarios <= scenarios.len());
+        assert!(summary.reused_nodes > summary.recomputed_nodes);
+        assert!(summary.spliced >= 1, "the unmutated scenario must splice: {summary:?}");
+
+        let off = eng.with_incremental(false).run_sequential(&g, &scenarios);
+        assert!(off.incremental.is_none());
+        assert_eq!(bits(&on), bits(&off));
+    }
+
+    #[test]
+    fn replace_and_hoist_mutations_price_and_bad_positions_error() {
+        let (eng, g) = engine();
+        let scenarios = vec![
+            Scenario::new("swap", 0)
+                .with(GraphMutation::ReplaceOp { node: g.node_count() / 2, op: OpKind::Sigmoid }),
+            Scenario::new("hoist-one", 0).with(GraphMutation::HoistNode(g.node_count() - 2)),
+            Scenario::new("hoist-oob", 0).with(GraphMutation::HoistNode(g.node_count() + 7)),
+            Scenario::new("swap-oob", 0)
+                .with(GraphMutation::ReplaceOp { node: g.node_count() + 7, op: OpKind::Relu }),
+        ];
+        let out = eng.run(&g, &scenarios);
+        let rs = out.expect_complete();
+        assert!(rs[0].prediction.is_some(), "{:?}", rs[0].error);
+        assert!(rs[1].prediction.is_some(), "{:?}", rs[1].error);
+        assert!(rs[2].error.as_deref().unwrap().contains("out of range"));
+        assert!(rs[3].error.is_some());
     }
 
     #[test]

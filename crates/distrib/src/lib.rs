@@ -42,7 +42,7 @@ pub mod sweep;
 pub use builder::DistributedDlrm;
 pub use engine::{DistributedRunResult, MultiGpuEngine};
 pub use plan::ShardingPlan;
-pub use predictor::{DistributedPredictor, DistributedPrediction};
+pub use predictor::{DistributedPrediction, DistributedPredictor, SegmentBaselines};
 pub use sweep::{
     enumerate_plans, sweep_shardings, ShardingResult, ShardingScenario, ShardingSweepOutcome,
 };

@@ -5,6 +5,8 @@
 //! plans, world sizes, and interconnects can be compared from graphs alone.
 
 use dlperf_core::predictor::E2ePredictor;
+use dlperf_core::sweep::IncrementalSummary;
+use dlperf_core::IncrementalPredictor;
 use dlperf_gpusim::{collective, DeviceSpec};
 use dlperf_graph::lower::LowerError;
 use dlperf_kernels::MemoCache;
@@ -73,6 +75,43 @@ impl DistributedPredictor {
         self.predict_inner(job, Some(cache))
     }
 
+    /// Like [`DistributedPredictor::predict_memoized`], but pricing each
+    /// segment by incremental re-prediction against `baselines` (one
+    /// checkpointed walk per segment slot). Data-parallel segments are
+    /// structurally identical across ranks and sharding plans, so they
+    /// splice to the baseline; the embedding-bearing segments recompute
+    /// only the shards that changed. Bitwise identical to the full paths
+    /// (see [`dlperf_core::incremental`]).
+    ///
+    /// # Errors
+    /// Propagates lowering errors from malformed segment graphs.
+    pub fn predict_incremental(
+        &self,
+        job: &DistributedDlrm,
+        baselines: &SegmentBaselines,
+        cache: Option<&MemoCache>,
+    ) -> Result<(DistributedPrediction, IncrementalSummary), LowerError> {
+        let mut summary = IncrementalSummary::default();
+        let mut segment_us = [0.0f64; 4];
+        for rank in 0..job.world() {
+            for (i, seg) in job.segments(rank).iter().enumerate() {
+                let p = match baselines.get(i) {
+                    Some(b) => {
+                        let (p, stats) = b.repredict(seg, cache)?;
+                        summary.absorb(&stats);
+                        p
+                    }
+                    None => match cache {
+                        Some(c) => self.predictor.predict_memoized(seg, c)?,
+                        None => self.predictor.predict(seg)?,
+                    },
+                };
+                segment_us[i] = segment_us[i].max(p.e2e_us);
+            }
+        }
+        Ok((self.assemble(job, segment_us), summary))
+    }
+
     fn predict_inner(
         &self,
         job: &DistributedDlrm,
@@ -88,15 +127,61 @@ impl DistributedPredictor {
                 segment_us[i] = segment_us[i].max(p.e2e_us);
             }
         }
+        Ok(self.assemble(job, segment_us))
+    }
+
+    /// Adds the collective phases and folds the timeline — shared by the
+    /// full and incremental paths so they cannot diverge.
+    fn assemble(&self, job: &DistributedDlrm, segment_us: [f64; 4]) -> DistributedPrediction {
         let mut comm_us = [0.0f64; 3];
         for (c, spec) in comm_us.iter_mut().zip(&job.collectives()) {
             *c = collective::simulate(&self.device, spec);
         }
-        Ok(DistributedPrediction {
+        DistributedPrediction {
             e2e_us: segment_us.iter().sum::<f64>() + comm_us.iter().sum::<f64>(),
             segment_us,
             comm_us,
-        })
+        }
+    }
+}
+
+/// Checkpointed [`IncrementalPredictor`] baselines, one per compute-segment
+/// slot (S1..S4), built from a reference job's rank-0 segments. Any other
+/// job of the same config family re-predicts its segments against these —
+/// a sharding sweep prices dozens of near-identical segment graphs, which
+/// is exactly the incremental predictor's sweet spot.
+#[derive(Debug, Clone)]
+pub struct SegmentBaselines {
+    baselines: Vec<Option<IncrementalPredictor>>,
+}
+
+impl SegmentBaselines {
+    /// Checkpoints one baseline walk per segment of `reference`'s rank 0,
+    /// feeding kernel queries through `cache` when given. A segment whose
+    /// baseline fails to lower simply gets no baseline (re-prediction of
+    /// that slot falls back to the full path).
+    pub fn new(
+        predictor: &DistributedPredictor,
+        reference: &DistributedDlrm,
+        cache: Option<&MemoCache>,
+    ) -> Self {
+        let baselines = reference
+            .segments(0)
+            .iter()
+            .map(|seg| {
+                let p = predictor.single_gpu().clone();
+                match cache {
+                    Some(c) => IncrementalPredictor::with_cache(p, seg.clone(), c).ok(),
+                    None => IncrementalPredictor::new(p, seg.clone()).ok(),
+                }
+            })
+            .collect();
+        SegmentBaselines { baselines }
+    }
+
+    /// The baseline for segment slot `i`, if one was checkpointed.
+    pub fn get(&self, i: usize) -> Option<&IncrementalPredictor> {
+        self.baselines.get(i).and_then(Option::as_ref)
     }
 }
 
@@ -118,6 +203,29 @@ mod tests {
         let device = DeviceSpec::v100();
         let pipe = Pipeline::analyze(&device, &segs, CalibrationEffort::Quick, 12, 5);
         (job, DistributedPredictor::new(pipe.predictor().clone(), device))
+    }
+
+    #[test]
+    fn incremental_prediction_bitwise_matches_full() {
+        let (job, pred) = setup(4, 2048);
+        let cache = MemoCache::new();
+        let baselines = SegmentBaselines::new(&pred, &job, Some(&cache));
+        let cfg = DlrmConfig::default_config(2048);
+        let tables = cfg.rows_per_table.len();
+        let skewed =
+            DistributedDlrm::new(cfg, ShardingPlan::new(vec![0; tables], 4).unwrap()).unwrap();
+        for j in [&job, &skewed] {
+            let (inc, summary) = pred.predict_incremental(j, &baselines, Some(&cache)).unwrap();
+            let full = pred.predict(j).unwrap();
+            assert_eq!(inc.e2e_us.to_bits(), full.e2e_us.to_bits());
+            for (a, b) in inc.segment_us.iter().zip(&full.segment_us) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+            assert!(summary.scenarios > 0);
+        }
+        // The reference job's own segments reconverge and splice.
+        let (_, summary) = pred.predict_incremental(&job, &baselines, Some(&cache)).unwrap();
+        assert!(summary.spliced > 0, "{summary:?}");
     }
 
     #[test]

@@ -18,7 +18,7 @@ use dlperf_runtime::CancellationToken;
 
 use crate::builder::DistributedDlrm;
 use crate::plan::ShardingPlan;
-use crate::predictor::{DistributedPrediction, DistributedPredictor};
+use crate::predictor::{DistributedPrediction, DistributedPredictor, SegmentBaselines};
 
 /// One cell of a sharding sweep: a world size plus a candidate plan.
 #[derive(Debug, Clone)]
@@ -99,19 +99,40 @@ pub fn sweep_shardings(
     token: &CancellationToken,
 ) -> ShardingSweepOutcome {
     let cache = MemoCache::new();
+    // Segment baselines from the first buildable scenario: every job's
+    // segments then re-predict incrementally against them (identical DP
+    // segments splice outright; sharded segments recompute only their
+    // dirty embedding span). Values are bitwise identical to the plain
+    // memoized path, which remains the fallback when nothing builds.
+    let baselines = (!token.is_cancelled())
+        .then(|| {
+            scenarios
+                .iter()
+                .find_map(|s| DistributedDlrm::new(config.clone(), s.plan.clone()).ok())
+                .map(|job| SegmentBaselines::new(predictor, &job, Some(&cache)))
+        })
+        .flatten();
     let results = par_map(threads, token, scenarios, |_, s| {
         let built = DistributedDlrm::new(config.clone(), s.plan.clone());
         match built {
-            Ok(job) => match predictor.predict_memoized(&job, &cache) {
-                Ok(p) => {
-                    ShardingResult { label: s.label.clone(), prediction: Some(p), error: None }
+            Ok(job) => {
+                let priced = match &baselines {
+                    Some(b) => predictor.predict_incremental(&job, b, Some(&cache)).map(|r| r.0),
+                    None => predictor.predict_memoized(&job, &cache),
+                };
+                match priced {
+                    Ok(p) => ShardingResult {
+                        label: s.label.clone(),
+                        prediction: Some(p),
+                        error: None,
+                    },
+                    Err(e) => ShardingResult {
+                        label: s.label.clone(),
+                        prediction: None,
+                        error: Some(format!("lowering failed: {e}")),
+                    },
                 }
-                Err(e) => ShardingResult {
-                    label: s.label.clone(),
-                    prediction: None,
-                    error: Some(format!("lowering failed: {e}")),
-                },
-            },
+            }
             Err(e) => ShardingResult {
                 label: s.label.clone(),
                 prediction: None,

@@ -1,0 +1,275 @@
+//! Structural diffing between execution graphs.
+//!
+//! Incremental re-prediction (see `dlperf-core`) needs to know which nodes
+//! of a mutated graph still contribute *bitwise identical* per-node cost
+//! terms to the Algorithm-1 walk. That is a purely structural question:
+//! a node's lowered kernels and overhead bundle are functions of its op,
+//! stream, and the metadata of the tensors it touches. We hash exactly
+//! those into a per-node *signature* and diff signature sequences.
+//!
+//! The hasher is FNV-1a, implemented here rather than taken from
+//! [`std::collections::hash_map::RandomState`] because signatures must be
+//! deterministic: they are compared across graphs and cached across calls,
+//! so a per-process random seed would be useless (and `SipHash` keys are
+//! randomized). Determinism is only required *within* a process — the
+//! signatures never persist.
+
+use std::hash::{Hash, Hasher};
+
+use crate::graph::{Graph, Node, NodeId};
+
+/// FNV-1a, 64-bit: a fixed-seed [`Hasher`] for structural signatures.
+#[derive(Debug, Clone)]
+pub struct Fnv64(u64);
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64(FNV_OFFSET)
+    }
+}
+
+impl Hasher for Fnv64 {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+}
+
+/// The structural signature of one node: everything Algorithm 1 reads when
+/// pricing it. Two nodes with equal signatures lower to the same kernels,
+/// draw the same overhead bundle, and read/write the same tensor slots —
+/// so they step the walk identically given identical incoming state.
+pub fn node_signature(graph: &Graph, node: &Node) -> u64 {
+    let mut h = Fnv64::default();
+    node.op.hash(&mut h);
+    node.stream.hash(&mut h);
+    node.inputs.len().hash(&mut h);
+    for t in &node.inputs {
+        t.hash(&mut h);
+        graph.tensor(*t).hash(&mut h);
+    }
+    node.outputs.len().hash(&mut h);
+    for t in &node.outputs {
+        t.hash(&mut h);
+        graph.tensor(*t).hash(&mut h);
+    }
+    h.finish()
+}
+
+/// Longest common prefix and suffix of two signature sequences, with the
+/// suffix clamped so the two regions never overlap on either side.
+pub fn common_affix(base: &[u64], new: &[u64]) -> (usize, usize) {
+    let min = base.len().min(new.len());
+    let mut prefix = 0;
+    while prefix < min && base[prefix] == new[prefix] {
+        prefix += 1;
+    }
+    let mut suffix = 0;
+    while suffix < min - prefix && base[base.len() - 1 - suffix] == new[new.len() - 1 - suffix] {
+        suffix += 1;
+    }
+    (prefix, suffix)
+}
+
+/// The result of diffing a mutated graph against a baseline: the frontier
+/// of nodes whose signatures changed, bracketed by clean prefix/suffix
+/// regions that an incremental walk can reuse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GraphDelta {
+    /// Leading nodes (by position) identical in both graphs.
+    pub prefix: usize,
+    /// Trailing nodes identical in both graphs (never overlapping the
+    /// prefix in either graph).
+    pub suffix: usize,
+    /// Dirty nodes of the *new* graph: positions `prefix .. len - suffix`.
+    pub dirty: Vec<NodeId>,
+    /// Stable uids of the dirty nodes (0 where unassigned).
+    pub dirty_uids: Vec<u64>,
+}
+
+impl GraphDelta {
+    /// Diffs `new` against `base` by node signature.
+    pub fn between(base: &Graph, new: &Graph) -> GraphDelta {
+        let base_sigs = base.index();
+        let new_index = new.index();
+        let (prefix, suffix) = common_affix(base_sigs.signatures(), new_index.signatures());
+        let dirty_range = prefix..new.node_count() - suffix;
+        GraphDelta {
+            prefix,
+            suffix,
+            dirty: dirty_range.clone().map(NodeId).collect(),
+            dirty_uids: new.nodes()[dirty_range].iter().map(|n| n.uid).collect(),
+        }
+    }
+
+    /// Whether the graphs are structurally identical (no dirty nodes and
+    /// equal lengths — pure prefix match).
+    pub fn is_clean(&self) -> bool {
+        self.dirty.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::OpKind;
+    use crate::tensor::TensorMeta;
+
+    fn chain(n: usize) -> Graph {
+        let mut g = Graph::new("chain");
+        let mut prev = g.add_tensor(TensorMeta::activation(&[8, 8]).with_batch_dim(0));
+        for _ in 0..n {
+            let next = g.add_tensor(TensorMeta::activation(&[8, 8]).with_batch_dim(0));
+            g.add_op(OpKind::Relu, vec![prev], vec![next]);
+            prev = next;
+        }
+        g
+    }
+
+    #[test]
+    fn identical_graphs_diff_clean() {
+        let a = chain(6);
+        let b = a.clone();
+        let d = GraphDelta::between(&a, &b);
+        assert!(d.is_clean());
+        assert_eq!(d.prefix, 6);
+    }
+
+    #[test]
+    fn single_op_replacement_dirties_one_node() {
+        let a = chain(6);
+        let mut b = a.clone();
+        b.node_mut(NodeId(3)).unwrap().op = OpKind::Sigmoid;
+        let d = GraphDelta::between(&a, &b);
+        assert_eq!((d.prefix, d.suffix), (3, 2));
+        assert_eq!(d.dirty, vec![NodeId(3)]);
+        assert_eq!(d.dirty_uids, vec![a.nodes()[3].uid]);
+    }
+
+    #[test]
+    fn tensor_meta_edit_dirties_its_toucher_via_tensor_mut() {
+        let a = chain(5);
+        let mut b = a.clone();
+        // Editing the meta of the chain's 3rd intermediate tensor dirties
+        // its producer (node 2) and consumer (node 3).
+        *b.tensor_mut(crate::tensor::TensorId(3)) =
+            TensorMeta::activation(&[16, 8]).with_batch_dim(0);
+        let d = GraphDelta::between(&a, &b);
+        assert_eq!((d.prefix, d.suffix), (2, 1));
+        assert_eq!(d.dirty, vec![NodeId(2), NodeId(3)]);
+    }
+
+    #[test]
+    fn uids_survive_set_nodes_reorder() {
+        let mut g = Graph::new("two-streams");
+        let a = g.add_tensor(TensorMeta::activation(&[4]));
+        let b = g.add_tensor(TensorMeta::activation(&[4]));
+        let c = g.add_tensor(TensorMeta::activation(&[4]));
+        g.add_op(OpKind::Relu, vec![a], vec![b]);
+        g.add_op(OpKind::Sigmoid, vec![a], vec![c]);
+        let uids: Vec<u64> = g.nodes().iter().map(|n| n.uid).collect();
+        // Swap the two (independent) nodes.
+        let mut nodes = g.nodes().to_vec();
+        nodes.swap(0, 1);
+        g.set_nodes(nodes);
+        assert!(g.validate().is_ok());
+        let after: Vec<u64> = g.nodes().iter().map(|n| n.uid).collect();
+        assert_eq!(after, vec![uids[1], uids[0]], "uids must travel with their nodes");
+        // Ids are positions again.
+        assert_eq!(g.nodes()[0].id, NodeId(0));
+    }
+
+    #[test]
+    fn fresh_nodes_get_uids_in_set_nodes() {
+        let mut g = chain(2);
+        let x = g.add_tensor(TensorMeta::activation(&[8, 8]).with_batch_dim(0));
+        let mut nodes = g.nodes().to_vec();
+        let last_out = nodes.last().unwrap().outputs[0];
+        nodes.push(Node {
+            id: NodeId(0),
+            uid: 0,
+            name: "tail".into(),
+            op: OpKind::Relu,
+            inputs: vec![last_out],
+            outputs: vec![x],
+            stream: 0,
+        });
+        g.set_nodes(nodes);
+        let uids: Vec<u64> = g.nodes().iter().map(|n| n.uid).collect();
+        assert!(uids.iter().all(|&u| u != 0), "every installed node gets a uid: {uids:?}");
+        let mut sorted = uids.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), uids.len(), "uids must be unique: {uids:?}");
+    }
+
+    #[test]
+    fn common_affix_clamps_overlap() {
+        // All-equal sequences: suffix must not double-count the prefix.
+        let s = [1u64, 2, 3];
+        assert_eq!(common_affix(&s, &s), (3, 0));
+        // Insertion in the middle of repeated values.
+        let a = [7u64, 7, 7];
+        let b = [7u64, 7, 7, 7];
+        let (p, s) = common_affix(&a, &b);
+        assert!(p + s <= 3, "affix regions may not overlap: ({p}, {s})");
+    }
+
+    #[test]
+    fn signatures_are_cached_and_invalidated() {
+        let mut g = chain(4);
+        let first = g.index();
+        let again = g.index();
+        assert!(Arc::ptr_eq(&first, &again), "index must be cached between reads");
+        g.node_mut(NodeId(0)).unwrap().op = OpKind::Sigmoid;
+        let rebuilt = g.index();
+        assert!(!Arc::ptr_eq(&first, &rebuilt), "mutation must drop the cache");
+        assert_ne!(first.signatures()[0], rebuilt.signatures()[0]);
+        assert_eq!(first.signatures()[1..], rebuilt.signatures()[1..]);
+    }
+
+    use std::sync::Arc;
+
+    #[test]
+    fn index_producer_consumer_match_scan() {
+        let g = chain(5);
+        let idx = g.index();
+        for (t, _) in g.tensors() {
+            assert_eq!(idx.producer(t), g.producer(t));
+            assert_eq!(idx.consumers(t), g.consumers(t).as_slice());
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_assigns_uids_to_legacy_graphs() {
+        let g = chain(3);
+        // Zero out uids in the export to simulate a pre-uid graph file
+        // (serde's `default` fills the same zeros for absent fields).
+        let legacy: String = g
+            .to_json()
+            .lines()
+            .map(|l| {
+                let indent = l.len() - l.trim_start().len();
+                if l.trim_start().starts_with("\"uid\":") {
+                    format!("{}\"uid\": 0,", &l[..indent])
+                } else if l.trim_start().starts_with("\"next_uid\":") {
+                    format!("{}\"next_uid\": 0", &l[..indent])
+                } else {
+                    l.to_string()
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        let back = Graph::from_json(&legacy).unwrap();
+        assert!(back.nodes().iter().all(|n| n.uid != 0));
+    }
+}

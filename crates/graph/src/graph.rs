@@ -8,6 +8,7 @@
 
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
 
 use crate::op::OpKind;
 use crate::tensor::{TensorId, TensorMeta};
@@ -21,6 +22,14 @@ pub struct NodeId(pub usize);
 pub struct Node {
     /// Handle of this node in its graph.
     pub id: NodeId,
+    /// Stable identity: unlike [`Node::id`] (which is a *position* and is
+    /// re-indexed whenever a transformation rebuilds the execution order),
+    /// the uid survives reorder/insert/fuse and lets diffing tools track a
+    /// node across graph mutations. `0` means "not yet assigned" — the
+    /// graph assigns a fresh nonzero uid when such a node is installed via
+    /// [`Graph::set_nodes`].
+    #[serde(default)]
+    pub uid: u64,
     /// Human-readable name (defaults to the op's overhead key).
     pub name: String,
     /// Operator kind.
@@ -71,6 +80,54 @@ impl std::fmt::Display for GraphError {
 
 impl std::error::Error for GraphError {}
 
+/// Derived read-only views of a graph, built lazily by [`Graph::index`]
+/// and cached until the next structural mutation: producer/consumer maps
+/// (O(1) per query instead of a node scan), the execution order, and a
+/// structural signature per node. The signatures are what incremental
+/// re-prediction diffs: two nodes with equal signatures contribute
+/// identical per-node cost terms to the Algorithm-1 walk.
+#[derive(Debug)]
+pub struct GraphIndex {
+    producer: Vec<Option<NodeId>>,
+    consumers: Vec<Vec<NodeId>>,
+    signatures: Vec<u64>,
+}
+
+impl GraphIndex {
+    fn build(g: &Graph) -> Self {
+        let mut producer = vec![None; g.tensors.len()];
+        let mut consumers = vec![Vec::new(); g.tensors.len()];
+        let mut signatures = Vec::with_capacity(g.nodes.len());
+        for n in &g.nodes {
+            for t in &n.outputs {
+                producer[t.0] = Some(n.id);
+            }
+            for t in &n.inputs {
+                consumers[t.0].push(n.id);
+            }
+            signatures.push(crate::delta::node_signature(g, n));
+        }
+        GraphIndex { producer, consumers, signatures }
+    }
+
+    /// The node producing `tensor`, if any (graph inputs have none).
+    pub fn producer(&self, tensor: TensorId) -> Option<NodeId> {
+        self.producer.get(tensor.0).copied().flatten()
+    }
+
+    /// Nodes consuming `tensor`, in execution order.
+    pub fn consumers(&self, tensor: TensorId) -> &[NodeId] {
+        self.consumers.get(tensor.0).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Per-node structural signatures, in execution order. Position `i`
+    /// covers node `i`'s op, stream, and input/output tensor handles plus
+    /// their metadata — everything that feeds its Algorithm-1 cost terms.
+    pub fn signatures(&self) -> &[u64] {
+        &self.signatures
+    }
+}
+
 /// An execution graph: tensors plus operators in execution order.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Graph {
@@ -78,16 +135,41 @@ pub struct Graph {
     pub name: String,
     tensors: Vec<TensorMeta>,
     nodes: Vec<Node>,
+    /// Highest node uid handed out so far (uids start at 1; 0 = unset).
+    #[serde(default)]
+    next_uid: u64,
+    /// Lazily built derived views; dropped on every structural mutation.
+    #[serde(skip)]
+    index: OnceLock<Arc<GraphIndex>>,
 }
 
 impl Graph {
     /// Creates an empty graph.
     pub fn new(name: impl Into<String>) -> Self {
-        Graph { name: name.into(), tensors: Vec::new(), nodes: Vec::new() }
+        Graph {
+            name: name.into(),
+            tensors: Vec::new(),
+            nodes: Vec::new(),
+            next_uid: 0,
+            index: OnceLock::new(),
+        }
+    }
+
+    /// Hands out the next node uid.
+    fn fresh_uid(&mut self) -> u64 {
+        self.next_uid += 1;
+        self.next_uid
+    }
+
+    /// The cached derived views (producers, consumers, node signatures),
+    /// built on first use after any structural mutation.
+    pub fn index(&self) -> Arc<GraphIndex> {
+        self.index.get_or_init(|| Arc::new(GraphIndex::build(self))).clone()
     }
 
     /// Adds a tensor and returns its handle.
     pub fn add_tensor(&mut self, meta: TensorMeta) -> TensorId {
+        self.index.take();
         self.tensors.push(meta);
         TensorId(self.tensors.len() - 1)
     }
@@ -107,8 +189,10 @@ impl Graph {
         for t in inputs.iter().chain(outputs.iter()) {
             assert!(t.0 < self.tensors.len(), "tensor id {} out of range", t.0);
         }
+        self.index.take();
         let id = NodeId(self.nodes.len());
-        self.nodes.push(Node { id, name: name.into(), op, inputs, outputs, stream: 0 });
+        let uid = self.fresh_uid();
+        self.nodes.push(Node { id, uid, name: name.into(), op, inputs, outputs, stream: 0 });
         id
     }
 
@@ -133,8 +217,12 @@ impl Graph {
         self.tensors.get(id.0)
     }
 
-    /// Mutable tensor metadata by handle.
+    /// Mutable tensor metadata by handle. Invalidates the cached
+    /// [`GraphIndex`]: node signatures cover tensor metadata, so editing a
+    /// meta (e.g. a batch resize) changes the signatures of every node
+    /// touching that tensor.
     pub fn tensor_mut(&mut self, id: TensorId) -> &mut TensorMeta {
+        self.index.take();
         &mut self.tensors[id.0]
     }
 
@@ -160,6 +248,7 @@ impl Graph {
 
     /// Mutable node by handle.
     pub fn node_mut(&mut self, id: NodeId) -> Result<&mut Node, GraphError> {
+        self.index.take();
         self.nodes.get_mut(id.0).ok_or(GraphError::NoSuchNode { node: id.0 })
     }
 
@@ -191,10 +280,18 @@ impl Graph {
     }
 
     /// Replaces the node list (used by transformations that rebuild
-    /// execution order). Re-indexes node ids to match positions.
+    /// execution order). Re-indexes node ids to match positions; existing
+    /// uids are preserved (they are the identity that survives a rebuild)
+    /// and freshly constructed nodes with `uid == 0` get new ones.
     pub fn set_nodes(&mut self, mut nodes: Vec<Node>) {
+        self.index.take();
+        self.next_uid = nodes.iter().map(|n| n.uid).fold(self.next_uid, u64::max);
         for (i, n) in nodes.iter_mut().enumerate() {
             n.id = NodeId(i);
+            if n.uid == 0 {
+                self.next_uid += 1;
+                n.uid = self.next_uid;
+            }
         }
         self.nodes = nodes;
     }
@@ -257,10 +354,19 @@ impl Graph {
         serde_json::to_string_pretty(self).expect("graph serialization cannot fail")
     }
 
-    /// Deserializes a graph from JSON and validates it.
+    /// Deserializes a graph from JSON and validates it. Graphs exported
+    /// before node uids existed deserialize with `uid == 0` everywhere;
+    /// those nodes get fresh uids here so diffing works on any input.
     pub fn from_json(s: &str) -> Result<Self, Box<dyn std::error::Error>> {
-        let g: Graph = serde_json::from_str(s)?;
+        let mut g: Graph = serde_json::from_str(s)?;
         g.validate()?;
+        g.next_uid = g.nodes.iter().map(|n| n.uid).fold(g.next_uid, u64::max);
+        for i in 0..g.nodes.len() {
+            if g.nodes[i].uid == 0 {
+                g.next_uid += 1;
+                g.nodes[i].uid = g.next_uid;
+            }
+        }
         Ok(g)
     }
 }

@@ -35,6 +35,7 @@
 //! assert!(g.validate().is_ok());
 //! ```
 
+pub mod delta;
 pub mod graph;
 pub mod lower;
 pub mod memory;
@@ -43,6 +44,7 @@ pub mod stats;
 pub mod tensor;
 pub mod transform;
 
-pub use graph::{Graph, GraphError, Node, NodeId};
+pub use delta::{common_affix, node_signature, GraphDelta};
+pub use graph::{Graph, GraphError, GraphIndex, Node, NodeId};
 pub use op::OpKind;
 pub use tensor::{DType, TensorId, TensorKind, TensorMeta};

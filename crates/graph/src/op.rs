@@ -9,7 +9,7 @@ use dlperf_gpusim::MemcpyKind;
 use serde::{Deserialize, Serialize};
 
 /// The kind of operator a [`crate::Node`] executes.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum OpKind {
     /// `aten::addmm` — fully connected forward (bias + x·Wᵀ).
     AddMm,

@@ -42,7 +42,7 @@ pub enum TensorKind {
 pub struct TensorId(pub usize);
 
 /// Shape, dtype, and role metadata of one tensor.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct TensorMeta {
     /// Dimensions, outermost first.
     pub shape: Vec<u64>,

@@ -183,6 +183,7 @@ pub fn fuse_embedding_bags(graph: &mut Graph) -> Result<FusionReport, TransformE
             // produces the cat's output tensor directly (Fig. 11 right).
             new_nodes.push(Node {
                 id: NodeId(0), // re-indexed by set_nodes
+                uid: 0,        // assigned by set_nodes
                 name: "batched_embedding".into(),
                 op: OpKind::BatchedEmbedding,
                 inputs: vec![fused_w, fused_idx],
@@ -194,6 +195,7 @@ pub fn fuse_embedding_bags(graph: &mut Graph) -> Result<FusionReport, TransformE
             let (grad_src, idx) = fused_bwd_grad.expect("first_bwd implies fused grad");
             new_nodes.push(Node {
                 id: NodeId(0),
+                uid: 0,
                 name: "batched_embedding_backward".into(),
                 op: OpKind::BatchedEmbeddingBackward,
                 inputs: vec![fused_w, idx, grad_src],

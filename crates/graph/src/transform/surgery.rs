@@ -40,7 +40,7 @@ pub fn insert_after(
         return Err(TransformError::Precondition(format!("no such node {}", after.0)));
     }
     let mut nodes: Vec<Node> = graph.nodes().to_vec();
-    let new = Node { id: NodeId(0), name: name.into(), op, inputs, outputs, stream: 0 };
+    let new = Node { id: NodeId(0), uid: 0, name: name.into(), op, inputs, outputs, stream: 0 };
     nodes.insert(after.0 + 1, new);
     graph.set_nodes(nodes);
     graph

@@ -38,7 +38,7 @@ pub mod persist;
 pub mod registry;
 
 pub use error::{ErrorStats, ErrorStatsError};
-pub use memo::{MemoCache, MemoCacheStats, MemoKey};
+pub use memo::{CachePadded, MemoCache, MemoCacheStats, MemoKey};
 pub use microbench::{MicrobenchHarness, MicrobenchJob, Microbenchmark, Sample};
 pub use persist::RegistryBundle;
 pub use registry::{CalibrationEffort, Confidence, KernelPerfModel, ModelRegistry};

@@ -41,6 +41,15 @@ use crate::registry::{Confidence, ModelRegistry};
 /// contention low at sweep-level thread counts without bloating the map.
 const SHARDS: usize = 16;
 
+/// Pads its contents to a 64-byte cache line so two frequently-written
+/// atomics (the cache's hit/miss counters, the sweep engine's work-claim
+/// counter) never share a line — false sharing turns every counter bump
+/// into cross-core cache-line ping-pong. Wrap each hot atomic separately;
+/// access the value through `.0`.
+#[derive(Debug, Default)]
+#[repr(align(64))]
+pub struct CachePadded<T>(pub T);
+
 /// The cache key: kernel family plus every model-visible input field.
 ///
 /// Integer fields are keyed verbatim; `f64` fields by bit pattern (see
@@ -172,8 +181,8 @@ impl std::fmt::Display for MemoCacheStats {
 #[derive(Debug)]
 pub struct MemoCache {
     shards: Vec<Mutex<HashMap<MemoKey, (f64, Confidence)>>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    hits: CachePadded<AtomicU64>,
+    misses: CachePadded<AtomicU64>,
 }
 
 impl Default for MemoCache {
@@ -187,8 +196,8 @@ impl MemoCache {
     pub fn new() -> Self {
         MemoCache {
             shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
+            hits: CachePadded(AtomicU64::new(0)),
+            misses: CachePadded(AtomicU64::new(0)),
         }
     }
 
@@ -201,11 +210,11 @@ impl MemoCache {
     ) -> (f64, Confidence) {
         let shard = &self.shards[key.shard()];
         if let Some(&v) = shard.lock().expect("memo shard poisoned").get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.hits.0.fetch_add(1, Ordering::Relaxed);
             return v;
         }
         let v = compute();
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.misses.0.fetch_add(1, Ordering::Relaxed);
         shard.lock().expect("memo shard poisoned").insert(key, v);
         v
     }
@@ -213,8 +222,8 @@ impl MemoCache {
     /// Current counters.
     pub fn stats(&self) -> MemoCacheStats {
         MemoCacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
+            hits: self.hits.0.load(Ordering::Relaxed),
+            misses: self.misses.0.load(Ordering::Relaxed),
             entries: self
                 .shards
                 .iter()
@@ -228,8 +237,8 @@ impl MemoCache {
         for s in &self.shards {
             s.lock().expect("memo shard poisoned").clear();
         }
-        self.hits.store(0, Ordering::Relaxed);
-        self.misses.store(0, Ordering::Relaxed);
+        self.hits.0.store(0, Ordering::Relaxed);
+        self.misses.0.store(0, Ordering::Relaxed);
     }
 }
 
@@ -240,6 +249,78 @@ impl ModelRegistry {
     /// include the calibration device.
     pub fn predict_memoized(&self, cache: &MemoCache, kernel: &KernelSpec) -> (f64, Confidence) {
         cache.get_or_insert_with(MemoKey::of(kernel), || self.predict_with_confidence(kernel))
+    }
+
+    /// Batched [`ModelRegistry::predict_memoized`]: probes the cache for
+    /// every kernel up front, evaluates all misses in one
+    /// [`ModelRegistry::predict_batch_with_confidence`] call (one blocked
+    /// MLP forward pass per family), inserts them, and returns results in
+    /// input order.
+    ///
+    /// Counter semantics replicate the scalar sequence exactly: the first
+    /// occurrence of an absent key counts one miss, every duplicate of it
+    /// later in the batch counts a hit (as it would had the batch been a
+    /// loop of scalar calls), so cache statistics do not depend on which
+    /// path performed the lookups. Values are bitwise identical to the
+    /// scalar path because every model is pure and every batched override
+    /// is pinned bit-for-bit to its scalar twin.
+    pub fn predict_batch_memoized(
+        &self,
+        cache: &MemoCache,
+        kernels: &[KernelSpec],
+    ) -> Vec<(f64, Confidence)> {
+        let keys: Vec<MemoKey> = kernels.iter().map(MemoKey::of).collect();
+        let mut out: Vec<Option<(f64, Confidence)>> = Vec::with_capacity(kernels.len());
+        let mut hits = 0u64;
+        for key in &keys {
+            let shard = &cache.shards[key.shard()];
+            let probe = shard.lock().expect("memo shard poisoned").get(key).copied();
+            if probe.is_some() {
+                hits += 1;
+            }
+            out.push(probe);
+        }
+        // First occurrence of each absent key is a miss to evaluate;
+        // duplicates resolve from the first's result and count as hits,
+        // exactly as a scalar loop (insert, then hit) would count them.
+        let mut first: HashMap<MemoKey, usize> = HashMap::new();
+        let mut miss_idx: Vec<usize> = Vec::new();
+        let mut dup_idx: Vec<usize> = Vec::new();
+        for (i, slot) in out.iter().enumerate() {
+            if slot.is_none() {
+                match first.entry(keys[i]) {
+                    std::collections::hash_map::Entry::Occupied(_) => {
+                        hits += 1;
+                        dup_idx.push(i);
+                    }
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(i);
+                        miss_idx.push(i);
+                    }
+                }
+            }
+        }
+        if hits > 0 {
+            cache.hits.0.fetch_add(hits, Ordering::Relaxed);
+        }
+        if !miss_idx.is_empty() {
+            cache.misses.0.fetch_add(miss_idx.len() as u64, Ordering::Relaxed);
+            let specs: Vec<KernelSpec> =
+                miss_idx.iter().map(|&i| kernels[i].clone()).collect();
+            let values = self.predict_batch_with_confidence(&specs);
+            for (&i, v) in miss_idx.iter().zip(values) {
+                cache.shards[keys[i].shard()]
+                    .lock()
+                    .expect("memo shard poisoned")
+                    .insert(keys[i], v);
+                out[i] = Some(v);
+            }
+            for i in dup_idx {
+                let j = first[&keys[i]];
+                out[i] = out[j];
+            }
+        }
+        out.into_iter().map(|v| v.expect("every kernel resolved")).collect()
     }
 }
 
@@ -312,6 +393,66 @@ mod tests {
         cache.clear();
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses, stats.entries), (0, 0, 0));
+    }
+
+    #[test]
+    fn batch_memoized_matches_scalar_values_and_counters() {
+        let reg = ModelRegistry::calibrate(&DeviceSpec::v100(), crate::CalibrationEffort::Quick, 9);
+        // A mixed-family batch with an in-batch duplicate and a repeat of
+        // an already-cached key.
+        let warm = KernelSpec::gemm(256, 128, 64);
+        let batch = vec![
+            warm.clone(),
+            KernelSpec::gemm(512, 256, 128),
+            KernelSpec::Transpose { batch: 64, rows: 9, cols: 64 },
+            KernelSpec::gemm(512, 256, 128), // duplicate within the batch
+            KernelSpec::memcpy_h2d(1 << 20),
+            KernelSpec::TrilForward { batch: 64, n: 27 },
+        ];
+
+        // Scalar reference: fresh cache, warm one key, then loop.
+        let scalar_cache = MemoCache::new();
+        reg.predict_memoized(&scalar_cache, &warm);
+        let scalar: Vec<(u64, Confidence)> = batch
+            .iter()
+            .map(|k| {
+                let (t, c) = reg.predict_memoized(&scalar_cache, k);
+                (t.to_bits(), c)
+            })
+            .collect();
+        let scalar_stats = scalar_cache.stats();
+
+        // Batched path over an identically prepared cache.
+        let batch_cache = MemoCache::new();
+        reg.predict_memoized(&batch_cache, &warm);
+        let batched: Vec<(u64, Confidence)> = reg
+            .predict_batch_memoized(&batch_cache, &batch)
+            .into_iter()
+            .map(|(t, c)| (t.to_bits(), c))
+            .collect();
+        let batch_stats = batch_cache.stats();
+
+        assert_eq!(batched, scalar, "batched values must be bitwise identical");
+        assert_eq!(batch_stats, scalar_stats, "counter semantics must match the scalar loop");
+        // Re-running the same batch must add only hits.
+        reg.predict_batch_memoized(&batch_cache, &batch);
+        let again = batch_cache.stats();
+        assert_eq!(again.misses, batch_stats.misses);
+        assert_eq!(again.hits, batch_stats.hits + batch.len() as u64);
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let reg = ModelRegistry::empty(DeviceSpec::v100());
+        let cache = MemoCache::new();
+        assert!(reg.predict_batch_memoized(&cache, &[]).is_empty());
+        assert_eq!(cache.stats(), MemoCacheStats::default());
+    }
+
+    #[test]
+    fn cache_padding_aligns_counters() {
+        assert_eq!(std::mem::align_of::<CachePadded<AtomicU64>>(), 64);
+        assert_eq!(std::mem::size_of::<CachePadded<AtomicU64>>(), 64);
     }
 
     #[test]

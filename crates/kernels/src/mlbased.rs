@@ -153,6 +153,29 @@ impl MlKernelModel {
         assert_eq!(kernel.family(), self.family, "family mismatch in MlKernelModel::predict");
         (self.model.predict_one(&features(kernel)) * self.correction).max(0.01)
     }
+
+    /// Predicted kernel times for a batch, via one batched MLP forward pass
+    /// over the stacked feature matrix instead of per-kernel scalar
+    /// inference. Bitwise identical to mapping [`MlKernelModel::predict`]
+    /// (the planned MLP forward is bitwise equal to the scalar one, and the
+    /// correction/clamp are element-wise).
+    ///
+    /// # Panics
+    /// Panics if any kernel belongs to a different family.
+    pub fn predict_batch(&self, kernels: &[KernelSpec]) -> Vec<f64> {
+        if kernels.is_empty() {
+            return Vec::new();
+        }
+        for k in kernels {
+            assert_eq!(k.family(), self.family, "family mismatch in MlKernelModel::predict_batch");
+        }
+        let rows: Vec<Vec<f64>> = kernels.iter().map(features).collect();
+        self.model
+            .predict_batch(&rows)
+            .into_iter()
+            .map(|p| (p * self.correction).max(0.01))
+            .collect()
+    }
 }
 
 #[cfg(test)]

@@ -64,6 +64,14 @@ fn datasheet_roofline(device: &DeviceSpec, kernel: &KernelSpec) -> f64 {
 pub trait KernelPerfModel: Send + Sync {
     /// Predicted time in microseconds.
     fn predict(&self, kernel: &KernelSpec) -> f64;
+    /// Predicted times for a batch of same-family kernels. The default maps
+    /// [`KernelPerfModel::predict`]; models with a cheaper batched path
+    /// (e.g. MLP inference over a stacked feature matrix) override it, and
+    /// every override must stay bitwise identical to the scalar map — the
+    /// memo cache and sweep determinism contracts depend on it.
+    fn predict_batch(&self, kernels: &[KernelSpec]) -> Vec<f64> {
+        kernels.iter().map(|k| self.predict(k)).collect()
+    }
     /// Short model name for reports, e.g. `"ML(GEMM)"`.
     fn name(&self) -> String;
 }
@@ -92,6 +100,9 @@ impl KernelPerfModel for RooflineModel {
 impl KernelPerfModel for MlKernelModel {
     fn predict(&self, kernel: &KernelSpec) -> f64 {
         MlKernelModel::predict(self, kernel)
+    }
+    fn predict_batch(&self, kernels: &[KernelSpec]) -> Vec<f64> {
+        MlKernelModel::predict_batch(self, kernels)
     }
     fn name(&self) -> String {
         format!("ML({})", self.family())
@@ -189,6 +200,69 @@ impl ModelRegistry {
             Some(model) => (model.predict(kernel), Confidence::Calibrated),
             None => (datasheet_roofline(&self.device, kernel), Confidence::Degraded),
         }
+    }
+
+    /// Batched [`ModelRegistry::predict_with_confidence`]: groups the
+    /// kernels by family, answers each group through that family's
+    /// [`KernelPerfModel::predict_batch`] (one blocked MLP forward pass
+    /// for the ML-backed families), and returns results in input order.
+    /// Bitwise identical to mapping the scalar call — every model is a
+    /// pure function and every batched override is pinned to its scalar
+    /// path bit-for-bit.
+    pub fn predict_batch_with_confidence(&self, kernels: &[KernelSpec]) -> Vec<(f64, Confidence)> {
+        // Single-family batches (the common shape once a walker has grouped
+        // its misses) skip the grouping, clone, and scatter entirely.
+        if let Some(first) = kernels.first() {
+            let fam = first.family();
+            if kernels.iter().all(|k| k.family() == fam) {
+                return match self.models.get(&fam) {
+                    Some(model) => model
+                        .predict_batch(kernels)
+                        .into_iter()
+                        .map(|t| (t, Confidence::Calibrated))
+                        .collect(),
+                    None => kernels
+                        .iter()
+                        .map(|k| (datasheet_roofline(&self.device, k), Confidence::Degraded))
+                        .collect(),
+                };
+            }
+        }
+        let mut out: Vec<Option<(f64, Confidence)>> = vec![None; kernels.len()];
+        let mut order: Vec<KernelFamily> = Vec::new();
+        let mut groups: HashMap<KernelFamily, Vec<usize>> = HashMap::new();
+        for (i, k) in kernels.iter().enumerate() {
+            let fam = k.family();
+            match groups.entry(fam) {
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    order.push(fam);
+                    e.insert(vec![i]);
+                }
+                std::collections::hash_map::Entry::Occupied(mut e) => e.get_mut().push(i),
+            }
+        }
+        for fam in order {
+            let idxs = &groups[&fam];
+            match self.models.get(&fam) {
+                Some(model) => {
+                    let specs: Vec<KernelSpec> =
+                        idxs.iter().map(|&i| kernels[i].clone()).collect();
+                    let times = model.predict_batch(&specs);
+                    for (&i, t) in idxs.iter().zip(times) {
+                        out[i] = Some((t, Confidence::Calibrated));
+                    }
+                }
+                None => {
+                    for &i in idxs {
+                        out[i] = Some((
+                            datasheet_roofline(&self.device, &kernels[i]),
+                            Confidence::Degraded,
+                        ));
+                    }
+                }
+            }
+        }
+        out.into_iter().map(|v| v.expect("every kernel grouped")).collect()
     }
 
     /// Runs the full analysis track against a device: microbenchmark sweeps,

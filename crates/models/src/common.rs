@@ -130,6 +130,7 @@ pub fn add_host_accessories(graph: &mut Graph, per_device_op: usize) {
             let (_, view) = iter.next().expect("peeked");
             new_nodes.push(dlperf_graph::Node {
                 id: dlperf_graph::NodeId(0),
+                uid: 0,
                 name: "aten::view".into(),
                 op: OpKind::Reshape,
                 inputs: vec![node.inputs[0]],

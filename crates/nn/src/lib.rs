@@ -49,6 +49,6 @@ pub use gridsearch::{
     grid_search, grid_search_supervised, GridSearchJob, HyperParams, SearchSpace,
 };
 pub use matrix::Matrix;
-pub use net::Mlp;
+pub use net::{InferencePlan, Mlp};
 pub use optim::OptimizerKind;
 pub use train::{train, TrainConfig, TrainedModel};

@@ -171,6 +171,7 @@ impl Matrix {
     pub fn select_rows(&self, idx: &[usize]) -> Matrix {
         Matrix::from_fn(idx.len(), self.cols, |r, c| self.at(idx[r], c))
     }
+
 }
 
 #[cfg(test)]
@@ -224,5 +225,21 @@ mod tests {
         let a = Matrix::zeros(2, 3);
         let b = Matrix::zeros(2, 3);
         let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn batched_rows_match_per_row_matmul_bitwise() {
+        // Awkward magnitudes on purpose: any reassociation of the
+        // accumulation order shows up in the low mantissa bits.
+        let a = Matrix::from_fn(7, 5, |r, c| {
+            if (r + c) % 3 == 0 { 0.0 } else { (1.0 + r as f64) * 10f64.powi(c as i32 - 2) + 0.1 }
+        });
+        let b = Matrix::from_fn(5, 4, |r, c| (r as f64 - 1.7) * 3f64.powi(c as i32) + 1e-9);
+        let batched = a.matmul(&b);
+        for r in 0..a.rows() {
+            let single = Matrix::from_rows(&[a.row(r).to_vec()]).unwrap().matmul(&b);
+            let bits = |row: &[f64]| row.iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(batched.row(r)), bits(single.row(0)), "row {r}");
+        }
     }
 }

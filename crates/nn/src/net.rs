@@ -172,6 +172,81 @@ impl Mlp {
             .map(|l| l.w.rows() * l.w.cols() + l.b.len())
             .sum()
     }
+
+    /// Freezes the weights into an [`InferencePlan`] for batched inference.
+    pub fn plan(&self) -> InferencePlan {
+        InferencePlan {
+            layers: self
+                .layers
+                .iter()
+                .map(|l| (l.w.clone(), l.b.clone()))
+                .collect(),
+        }
+    }
+}
+
+/// Frozen inference-only weights for batched prediction: an N-row batch is
+/// one forward pass per layer instead of N scalar forwards, amortising loop
+/// and allocation overhead across the whole batch.
+///
+/// Weights stay row-major on purpose. The determinism contract pins each
+/// output element to a serial, `k`-ascending accumulation, so a column-major
+/// dot-product form could never vectorise (that would reassociate the sum);
+/// the only SIMD-compatible structure is [`Matrix::matmul`]'s axpy across
+/// independent output columns, which reads contiguous *rows* of the weight
+/// matrix.
+///
+/// [`InferencePlan::infer`] is bitwise identical to [`Mlp::infer`] on the
+/// plan's source network — same `matmul`, same bias add, same ReLU, in the
+/// same order.
+#[derive(Debug, Clone)]
+pub struct InferencePlan {
+    layers: Vec<(Matrix, Vec<f64>)>,
+}
+
+impl InferencePlan {
+    /// Number of input features.
+    pub fn inputs(&self) -> usize {
+        self.layers[0].0.rows()
+    }
+
+    /// Batched inference forward pass.
+    ///
+    /// # Panics
+    /// Panics if `x` has the wrong feature count.
+    pub fn infer(&self, x: &Matrix) -> Matrix {
+        self.infer_owned(x.clone())
+    }
+
+    /// Batched inference forward pass, consuming the input batch (no copy).
+    ///
+    /// # Panics
+    /// Panics if `x` has the wrong feature count.
+    pub fn infer_owned(&self, x: Matrix) -> Matrix {
+        assert_eq!(x.cols(), self.inputs(), "feature count mismatch");
+        let mut h = x;
+        let n = self.layers.len();
+        for (i, (w, b)) in self.layers.iter().enumerate() {
+            let mut y = h.matmul(w);
+            y.add_row(b);
+            if i + 1 < n {
+                y.map_inplace(|v| v.max(0.0));
+            }
+            h = y;
+        }
+        h
+    }
+
+    /// Batched prediction: one value per row of `x`.
+    pub fn predict(&self, x: &Matrix) -> Vec<f64> {
+        self.predict_owned(x.clone())
+    }
+
+    /// Batched prediction, consuming the input batch: one value per row.
+    pub fn predict_owned(&self, x: Matrix) -> Vec<f64> {
+        let y = self.infer_owned(x);
+        (0..y.rows()).map(|r| y.at(r, 0)).collect()
+    }
 }
 
 #[cfg(test)]
@@ -247,6 +322,31 @@ mod tests {
     // bitwise identical to sequential calls (no interior mutability, no
     // global state). This is the property the memo cache's determinism
     // contract stands on.
+    // Batched inference through a packed plan must agree bit-for-bit with
+    // the scalar path — this is what lets the kernel registry batch
+    // memo-cache misses without perturbing any prediction.
+    #[test]
+    fn planned_batch_matches_scalar_inference_bitwise() {
+        let mlp = Mlp::new(5, 3, 32, 41);
+        let rows: Vec<Vec<f64>> = (0..17)
+            .map(|i| {
+                (0..5)
+                    .map(|j| (i as f64 + 1.0) * 2f64.powi(j - 2) + 0.37 * j as f64)
+                    .collect()
+            })
+            .collect();
+        let plan = mlp.plan();
+        let x = Matrix::from_rows(&rows).unwrap();
+        let batch = plan.predict(&x);
+        for (row, got) in rows.iter().zip(&batch) {
+            assert_eq!(
+                got.to_bits(),
+                mlp.predict_one(row).to_bits(),
+                "planned batch diverged from scalar inference"
+            );
+        }
+    }
+
     #[test]
     fn shared_concurrent_inference_is_bitwise_pure() {
         let mlp = Mlp::new(4, 1, 16, 7);

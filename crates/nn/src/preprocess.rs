@@ -74,6 +74,24 @@ impl Preprocessor {
             .collect()
     }
 
+    /// Transforms a matrix of raw feature rows into model space, in place.
+    /// Applies exactly the per-element operations of
+    /// [`Preprocessor::transform_features`] (same log, same mean/std, same
+    /// order), so the result is bitwise identical to transforming each row
+    /// separately — without one allocation per row.
+    ///
+    /// # Panics
+    /// Panics if the column count differs from the fitted feature count.
+    pub fn transform_features_inplace(&self, m: &mut crate::matrix::Matrix) {
+        assert_eq!(m.cols(), self.feat_mean.len(), "feature count mismatch");
+        let cols = m.cols();
+        for row in m.as_mut_slice().chunks_mut(cols) {
+            for (c, v) in row.iter_mut().enumerate() {
+                *v = (log2p1(*v) - self.feat_mean[c]) / self.feat_std[c];
+            }
+        }
+    }
+
     /// Transforms a whole raw dataset into model space.
     pub fn transform(&self, data: &Dataset) -> Dataset {
         let rows: Vec<Vec<f64>> =

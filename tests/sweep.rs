@@ -86,9 +86,9 @@ proptest! {
             m = m.variant("hoisted", vec![GraphMutation::HoistAll]);
         }
         let scenarios = m.build();
-        let reference = fingerprint(&engine().with_threads(1).run(g, &scenarios));
+        let reference = fingerprint(&engine().with_threads_exact(1).run(g, &scenarios));
         for threads in [2usize, 8] {
-            let par = fingerprint(&engine().with_threads(threads).run(g, &scenarios));
+            let par = fingerprint(&engine().with_threads_exact(threads).run(g, &scenarios));
             prop_assert_eq!(&par, &reference, "{} threads diverged", threads);
         }
     }
@@ -102,8 +102,8 @@ proptest! {
             .variant("base", vec![])
             .variant("fused", vec![GraphMutation::FuseEmbeddingBags])
             .build();
-        let cached = engine().with_cache(true).with_threads(4).run(g, &scenarios);
-        let uncached = engine().with_cache(false).with_threads(4).run(g, &scenarios);
+        let cached = engine().with_cache(true).with_threads_exact(4).run(g, &scenarios);
+        let uncached = engine().with_cache(false).with_threads_exact(4).run(g, &scenarios);
         prop_assert_eq!(fingerprint(&cached), fingerprint(&uncached));
     }
 
@@ -141,7 +141,7 @@ proptest! {
         let token = CancellationToken::new();
         token.cancel();
         let cancelled =
-            engine().with_cancellation(token).with_threads(2).run(g, &scenarios);
+            engine().with_cancellation(token).with_threads_exact(2).run(g, &scenarios);
         prop_assert!(cancelled.cancelled);
         for (i, slot) in cancelled.results.iter().enumerate() {
             if let Some(r) = slot {
