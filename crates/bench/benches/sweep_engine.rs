@@ -23,6 +23,9 @@
 //!   beat re-walking every graph by ≥ 2×.
 //! * `batched_speedup` — per-kernel scalar MLP inference vs one batched
 //!   forward pass per family over the same spec list.
+//! * `obs_overhead_pct` — the steady-state sweep with the `dlperf-obs`
+//!   recorder enabled (spans buffered, no sink) vs disabled; the CI gate
+//!   caps this at a few percent.
 
 use std::collections::BTreeMap;
 use std::time::Instant;
@@ -248,6 +251,50 @@ fn main() {
         specs.len()
     );
 
+    // ---- Part 2c: observability overhead.
+    //
+    // The recorder's enabled-path budget: the full scenario matrix on a
+    // warm sequential cached engine, spans recording (no sink — sinks only
+    // pay at flush) vs the recorder disabled. Interleaved min-of-reps like
+    // Part 2b, so scheduler noise lands on reps, not sides. The CI gate
+    // fails the build when the overhead exceeds a few percent. (The fully
+    // spliced single-op matrix would be a denominator of a few µs per
+    // scenario — a span-cost microbench, not a sweep; the matrix here does
+    // one real memoized walk per scenario, which is what the recorder's
+    // budget is relative to in every real sweep.)
+    let obs_engine = SweepEngine::new(pipelines.clone())
+        .with_threads_exact(1)
+        .with_cache(true);
+    // Warm: memo cache, prepared-graph store, baselines.
+    let warm = obs_engine.run(&base, &scenarios);
+    let reference = fingerprint(&warm);
+    let mut off_ms = f64::INFINITY;
+    let mut on_ms = f64::INFINITY;
+    for _ in 0..REPS {
+        dlperf_obs::disable();
+        let t0 = Instant::now();
+        let out = obs_engine.run(&base, &scenarios);
+        off_ms = off_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(reference, fingerprint(&out));
+
+        dlperf_obs::enable();
+        let t0 = Instant::now();
+        let out = obs_engine.run(&base, &scenarios);
+        on_ms = on_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(
+            reference,
+            fingerprint(&out),
+            "recorder must not change prediction bits"
+        );
+        dlperf_obs::disable();
+        dlperf_obs::flush(); // drain the span buffer between reps
+    }
+    let obs_overhead_pct = (on_ms / off_ms - 1.0) * 100.0;
+    println!(
+        "\nrecorder overhead on the steady-state sweep: off {off_ms:.2} ms, on {on_ms:.2} ms \
+         ({obs_overhead_pct:+.2}%), bitwise identical"
+    );
+
     let mut doc: BTreeMap<String, String> = BTreeMap::new();
     doc.insert("scenarios".into(), scenarios.len().to_string());
     doc.insert("sweep_threads".into(), effective_threads.to_string());
@@ -272,6 +319,9 @@ fn main() {
     doc.insert("incremental_reused_nodes".into(), incr.reused_nodes.to_string());
     doc.insert("incremental_recomputed_nodes".into(), incr.recomputed_nodes.to_string());
     doc.insert("batched_speedup".into(), format!("{batched_speedup:.3}"));
+    doc.insert("obs_off_ms".into(), format!("{off_ms:.3}"));
+    doc.insert("obs_on_ms".into(), format!("{on_ms:.3}"));
+    doc.insert("obs_overhead_pct".into(), format!("{obs_overhead_pct:.3}"));
 
     let path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .join("../../BENCH_sweep.json");

@@ -7,9 +7,11 @@
 //! bench_gate <baseline.json> <fresh.json> [tolerance]
 //! ```
 //!
-//! Gated keys: `speedup` and `memo_speedup`. A key missing from either
-//! document is skipped, so the gate keeps working across baselines that
-//! predate a metric.
+//! Gated keys: `speedup` and `memo_speedup` (floored against the
+//! baseline), plus `obs_overhead_pct` (capped at an absolute budget: the
+//! recorder may not slow the steady-state sweep by more than 3%). A key
+//! missing from either document is skipped, so the gate keeps working
+//! across baselines that predate a metric.
 //!
 //! `incremental_speedup` and `batched_speedup` are recorded but not gated
 //! here: the bench itself hard-asserts the incremental path is ≥2× and
@@ -21,6 +23,7 @@
 use std::process::ExitCode;
 
 const GATED_KEYS: [&str; 2] = ["speedup", "memo_speedup"];
+const CEILINGS: [(&str, f64); 1] = [("obs_overhead_pct", 3.0)];
 const DEFAULT_TOLERANCE: f64 = 0.10;
 
 fn main() -> ExitCode {
@@ -49,17 +52,21 @@ fn main() -> ExitCode {
     let (Some(baseline), Some(fresh)) = (read(baseline_path), read(fresh_path)) else {
         return ExitCode::from(2);
     };
-    match dlperf_bench::check_regression(&baseline, &fresh, &GATED_KEYS, tolerance) {
-        Ok(report) => {
+    let regression = dlperf_bench::check_regression(&baseline, &fresh, &GATED_KEYS, tolerance);
+    let ceilings = dlperf_bench::check_ceilings(&fresh, &CEILINGS);
+    match (regression, ceilings) {
+        (Ok(report), Ok(ceiling_report)) => {
             println!("bench gate passed ({:.0}% tolerance):", tolerance * 100.0);
-            for line in report {
+            for line in report.into_iter().chain(ceiling_report) {
                 println!("  {line}");
             }
             ExitCode::SUCCESS
         }
-        Err(failures) => {
+        (regression, ceilings) => {
             eprintln!("bench gate FAILED ({:.0}% tolerance):", tolerance * 100.0);
-            for line in failures {
+            for line in [regression, ceilings].into_iter().flat_map(|r| match r {
+                Ok(lines) | Err(lines) => lines,
+            }) {
                 eprintln!("  {line}");
             }
             ExitCode::FAILURE

@@ -191,6 +191,51 @@ pub fn check_regression(
     }
 }
 
+/// Checks absolute ceilings on a fresh bench JSON: for every `(key, max)`
+/// pair whose key is present, the fresh value must not exceed `max`. Keys
+/// absent from the document are skipped (reported), so the gate keeps
+/// working on bench files that predate a metric. Values may be JSON numbers
+/// or stringified numbers, like [`check_regression`].
+///
+/// This is the overhead-budget side of the gate: ratios like `speedup` are
+/// floored against a baseline, costs like the recorder's
+/// `obs_overhead_pct` are capped against a fixed budget.
+///
+/// # Errors
+/// Returns the failure lines when any metric exceeds its ceiling, or when
+/// the document fails to parse.
+pub fn check_ceilings(
+    fresh_json: &str,
+    ceilings: &[(&str, f64)],
+) -> Result<Vec<String>, Vec<String>> {
+    let fresh = serde::value::parse(fresh_json)
+        .map_err(|e| vec![format!("fresh: unparseable JSON: {e}")])?;
+    let number = |doc: &serde::Value, key: &str| -> Option<f64> {
+        let v = doc.get(key)?;
+        v.as_f64().or_else(|| v.as_str()?.trim().parse().ok())
+    };
+    let mut report = Vec::new();
+    let mut failures = Vec::new();
+    for &(key, max) in ceilings {
+        let Some(value) = number(&fresh, key) else {
+            report.push(format!("{key}: skipped (missing)"));
+            continue;
+        };
+        let line = format!("{key}: {value:.3}, ceiling {max:.3}");
+        if value > max {
+            failures.push(format!("OVER BUDGET {line}"));
+        } else {
+            report.push(format!("ok {line}"));
+        }
+    }
+    if failures.is_empty() {
+        Ok(report)
+    } else {
+        failures.extend(report);
+        Err(failures)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     #[test]
@@ -206,5 +251,20 @@ mod tests {
         assert!(failures[0].contains("REGRESSION speedup"), "{failures:?}");
 
         assert!(super::check_regression("not json", ok_fresh, &keys, 0.1).is_err());
+    }
+
+    #[test]
+    fn ceiling_gate_caps_costs_and_skips_missing_keys() {
+        let ceilings = [("obs_overhead_pct", 3.0), ("not_there", 1.0)];
+        let ok = r#"{"obs_overhead_pct":"1.2"}"#;
+        let report = super::check_ceilings(ok, &ceilings).expect("under budget");
+        assert!(report.iter().any(|l| l.contains("ok obs_overhead_pct")));
+        assert!(report.iter().any(|l| l.contains("not_there: skipped")));
+
+        let over = r#"{"obs_overhead_pct":"4.7"}"#;
+        let failures = super::check_ceilings(over, &ceilings).unwrap_err();
+        assert!(failures[0].contains("OVER BUDGET obs_overhead_pct"), "{failures:?}");
+
+        assert!(super::check_ceilings("not json", &ceilings).is_err());
     }
 }

@@ -29,7 +29,9 @@ pub fn kernel_only(graph: &Graph, registry: &ModelRegistry) -> Result<f64, Lower
     let mut total = 0.0;
     for node in graph.nodes() {
         for k in lower::try_kernels(graph, node)? {
-            total += registry.predict(&k);
+            // Degraded fallback (not a panic) on uncovered families, same
+            // as the main E2E walk.
+            total += registry.predict_with_confidence(&k).0;
         }
     }
     Ok(total)

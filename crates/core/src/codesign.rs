@@ -159,8 +159,10 @@ pub fn greedy_by_predicted_cost(
 ) -> Vec<usize> {
     assert!(shards > 0 && !tables.is_empty(), "need tables and at least one shard");
     let cost = |rows: u64| {
-        registry.predict(&KernelSpec::embedding_forward(batch, rows, 1, lookups, dim))
-            + registry.predict(&KernelSpec::embedding_backward(batch, rows, 1, lookups, dim))
+        let fwd = KernelSpec::embedding_forward(batch, rows, 1, lookups, dim);
+        let bwd = KernelSpec::embedding_backward(batch, rows, 1, lookups, dim);
+        registry.try_predict(&fwd).expect("registry covers embedding kernels")
+            + registry.try_predict(&bwd).expect("registry covers embedding kernels")
     };
     let costs: Vec<f64> = tables.iter().map(|&r| cost(r)).collect();
     let mut order: Vec<usize> = (0..tables.len()).collect();
@@ -211,8 +213,10 @@ pub fn shard_costs(
             }
             let t = mine.len() as u64;
             let e_avg = (mine.iter().sum::<u64>() as f64 / t as f64).round().max(1.0) as u64;
-            registry.predict(&KernelSpec::embedding_forward(batch, e_avg, t, lookups, dim))
-                + registry.predict(&KernelSpec::embedding_backward(batch, e_avg, t, lookups, dim))
+            let fwd = KernelSpec::embedding_forward(batch, e_avg, t, lookups, dim);
+            let bwd = KernelSpec::embedding_backward(batch, e_avg, t, lookups, dim);
+            registry.try_predict(&fwd).expect("registry covers embedding kernels")
+                + registry.try_predict(&bwd).expect("registry covers embedding kernels")
         })
         .collect()
 }

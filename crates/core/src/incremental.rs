@@ -60,6 +60,53 @@ pub struct IncrementalStats {
     pub full_fallback: bool,
 }
 
+impl IncrementalStats {
+    /// Mirrors this re-prediction's outcome into the process-wide
+    /// `core.incremental` recorder counters.
+    fn record(&self) {
+        let c = incremental_counters();
+        c.repredictions.incr();
+        c.reused_nodes.add((self.prefix + self.suffix) as u64);
+        c.recomputed_nodes.add(self.recomputed as u64);
+        if self.spliced {
+            c.spliced.incr();
+        }
+        if self.full_fallback {
+            c.full_fallbacks.incr();
+        }
+    }
+}
+
+/// Process-wide incremental-reprediction counters; the per-call numbers
+/// stay in [`IncrementalStats`], these aggregate across every predictor
+/// instance for the recorder's snapshot.
+struct IncrementalCounters {
+    _group: std::sync::Arc<dlperf_obs::CounterGroup>,
+    repredictions: dlperf_obs::CounterHandle,
+    reused_nodes: dlperf_obs::CounterHandle,
+    recomputed_nodes: dlperf_obs::CounterHandle,
+    spliced: dlperf_obs::CounterHandle,
+    full_fallbacks: dlperf_obs::CounterHandle,
+}
+
+fn incremental_counters() -> &'static IncrementalCounters {
+    static G: std::sync::OnceLock<IncrementalCounters> = std::sync::OnceLock::new();
+    G.get_or_init(|| {
+        let group = dlperf_obs::CounterGroup::register(
+            "core.incremental",
+            &["repredictions", "reused_nodes", "recomputed_nodes", "spliced", "full_fallbacks"],
+        );
+        IncrementalCounters {
+            repredictions: group.handle("repredictions"),
+            reused_nodes: group.handle("reused_nodes"),
+            recomputed_nodes: group.handle("recomputed_nodes"),
+            spliced: group.handle("spliced"),
+            full_fallbacks: group.handle("full_fallbacks"),
+            _group: group,
+        }
+    })
+}
+
 /// A checkpointed Algorithm 1 walk over a baseline graph, supporting
 /// bitwise-exact incremental re-prediction of mutated variants.
 ///
@@ -190,6 +237,7 @@ impl IncrementalPredictor {
         graph: &Graph,
         cache: Option<&MemoCache>,
     ) -> Result<(Prediction, IncrementalStats), LowerError> {
+        let _span = dlperf_obs::span("incremental.repredict", dlperf_obs::SpanKind::Work);
         let n_base = self.base.node_count();
         let n_new = graph.node_count();
         let new_index = graph.index();
@@ -207,6 +255,7 @@ impl IncrementalPredictor {
         // verbatim, so return its prediction directly.
         if prefix == n_new && n_base == n_new {
             stats.spliced = true;
+            stats.record();
             return Ok((self.prediction, stats));
         }
 
@@ -242,6 +291,7 @@ impl IncrementalPredictor {
             // baseline's tail exactly — skip it.
             if self.splice_matches(&state, n_base - suffix, graph, dirty_end) {
                 stats.spliced = true;
+                stats.record();
                 return Ok((self.prediction, stats));
             }
             // Otherwise walk the suffix, reusing its baseline cost bundles
@@ -250,6 +300,7 @@ impl IncrementalPredictor {
                 state.step(node, &self.costs[j + n_base - n_new], gap, launch);
             }
         }
+        stats.record();
         Ok((state.finish(), stats))
     }
 

@@ -132,8 +132,14 @@ impl Pipeline {
         assert!(!workloads.is_empty(), "analysis needs at least one workload");
         assert!(iters > 0, "analysis needs at least one iteration");
 
+        let _span = dlperf_obs::span_with(dlperf_obs::SpanKind::Phase, || {
+            format!("pipeline.analyze/{}", device.name)
+        });
         let mut per_workload = Vec::new();
         for (i, g) in workloads.iter().enumerate() {
+            let _profile = dlperf_obs::span_with(dlperf_obs::SpanKind::Phase, || {
+                format!("pipeline.profile/{}", g.name)
+            });
             let mut engine = ExecutionEngine::new(device.clone(), seed.wrapping_add(i as u64));
             let runs = engine
                 .run_iterations(g, iters)
@@ -186,6 +192,9 @@ impl Pipeline {
             return Err(PipelineError::NoIterations);
         }
 
+        let _span = dlperf_obs::span_with(dlperf_obs::SpanKind::Phase, || {
+            format!("pipeline.analyze/{}", device.name)
+        });
         let mut report = AnalysisReport::default();
         let mut per_workload = Vec::new();
         for (i, g) in workloads.iter().enumerate() {

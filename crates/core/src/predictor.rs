@@ -20,6 +20,25 @@ use dlperf_kernels::{Confidence, MemoCache, ModelRegistry};
 use dlperf_trace::{OverheadStats, OverheadType};
 use serde::{Deserialize, Serialize};
 
+/// Process-wide walk counters: how many Algorithm-1 walks ran and how many
+/// nodes they stepped. Accumulated locally per walk (one atomic add each),
+/// so the per-node hot loop carries no instrumentation.
+struct WalkCounters {
+    _group: std::sync::Arc<dlperf_obs::CounterGroup>,
+    walks: dlperf_obs::CounterHandle,
+    nodes: dlperf_obs::CounterHandle,
+}
+
+fn walk_counters() -> &'static WalkCounters {
+    static G: std::sync::OnceLock<WalkCounters> = std::sync::OnceLock::new();
+    G.get_or_init(|| {
+        let group = dlperf_obs::CounterGroup::register("core.walk", &["walks", "nodes"]);
+        let walks = group.handle("walks");
+        let nodes = group.handle("nodes");
+        WalkCounters { _group: group, walks, nodes }
+    })
+}
+
 /// How T4 (CUDA runtime call time) is priced.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum T4Policy {
@@ -246,11 +265,15 @@ impl E2ePredictor {
         graph: &Graph,
         eval: impl FnOnce(&[KernelSpec]) -> Vec<(f64, Confidence)>,
     ) -> Result<Prediction, LowerError> {
+        let _span = dlperf_obs::span("walk", dlperf_obs::SpanKind::Work);
         let costs = self.node_costs_batch(graph, eval)?;
         let mut state = WalkState::new();
         for (node, c) in graph.nodes().iter().zip(&costs) {
             state.step(node, c, self.kernel_gap_us, self.launch_factor);
         }
+        let counters = walk_counters();
+        counters.walks.incr();
+        counters.nodes.add(graph.node_count() as u64);
         Ok(state.finish())
     }
 

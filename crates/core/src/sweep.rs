@@ -234,6 +234,42 @@ impl IncrementalSummary {
     }
 }
 
+impl From<&IncrementalStats> for IncrementalSummary {
+    fn from(s: &IncrementalStats) -> Self {
+        let mut sum = IncrementalSummary::default();
+        sum.absorb(s);
+        sum
+    }
+}
+
+/// Process-wide sweep counters, shared by every engine instance (sweeps
+/// are a program-level activity; per-run accounting stays in
+/// [`SweepOutcome`]).
+struct SweepCounters {
+    _group: Arc<dlperf_obs::CounterGroup>,
+    runs: dlperf_obs::CounterHandle,
+    scenarios: dlperf_obs::CounterHandle,
+    errors: dlperf_obs::CounterHandle,
+    cancelled: dlperf_obs::CounterHandle,
+}
+
+fn sweep_counters() -> &'static SweepCounters {
+    static G: std::sync::OnceLock<SweepCounters> = std::sync::OnceLock::new();
+    G.get_or_init(|| {
+        let group = dlperf_obs::CounterGroup::register(
+            "core.sweep",
+            &["runs", "scenarios", "errors", "cancelled"],
+        );
+        SweepCounters {
+            runs: group.handle("runs"),
+            scenarios: group.handle("scenarios"),
+            errors: group.handle("errors"),
+            cancelled: group.handle("cancelled"),
+            _group: group,
+        }
+    })
+}
+
 impl SweepOutcome {
     /// Number of scenarios that actually ran.
     pub fn completed(&self) -> usize {
@@ -466,6 +502,7 @@ impl SweepEngine {
     /// function of `(base, mutations)`, which is what makes sharing its
     /// output across scenarios invisible to results.
     fn prepare(&self, base: &Graph, mutations: &[GraphMutation]) -> Result<Graph, String> {
+        let _span = dlperf_obs::span("sweep.prepare", dlperf_obs::SpanKind::Phase);
         let mut g = base.clone();
         for m in mutations {
             let r = match m {
@@ -512,7 +549,12 @@ impl SweepEngine {
         prepared: &Result<Graph, String>,
         baseline: Option<&IncrementalPredictor>,
     ) -> (ScenarioResult, Option<IncrementalStats>) {
+        let _span =
+            dlperf_obs::span_with(dlperf_obs::SpanKind::Work, || format!("scenario:{}", s.label));
+        let counters = sweep_counters();
+        counters.scenarios.incr();
         if s.device >= self.pipelines.len() {
+            counters.errors.incr();
             return (
                 ScenarioResult {
                     label: s.label.clone(),
@@ -529,6 +571,7 @@ impl SweepEngine {
         let g = match prepared {
             Ok(g) => g,
             Err(e) => {
+                counters.errors.incr();
                 return (
                     ScenarioResult {
                         label: s.label.clone(),
@@ -553,11 +596,14 @@ impl SweepEngine {
         };
         let result = match pred {
             Ok(p) => ScenarioResult { label: s.label.clone(), prediction: Some(p), error: None },
-            Err(e) => ScenarioResult {
-                label: s.label.clone(),
-                prediction: None,
-                error: Some(format!("lowering failed: {e}")),
-            },
+            Err(e) => {
+                counters.errors.incr();
+                ScenarioResult {
+                    label: s.label.clone(),
+                    prediction: None,
+                    error: Some(format!("lowering failed: {e}")),
+                }
+            }
         };
         (result, stats)
     }
@@ -579,6 +625,8 @@ impl SweepEngine {
     }
 
     fn run_on(&self, threads: usize, base: &Graph, scenarios: &[Scenario]) -> SweepOutcome {
+        let _span = dlperf_obs::span("sweep.run", dlperf_obs::SpanKind::Phase);
+        sweep_counters().runs.incr();
         let start = Instant::now();
         let mut summary = IncrementalSummary::default();
         let results: Vec<Option<ScenarioResult>> = if self.use_cache {
@@ -687,6 +735,9 @@ impl SweepEngine {
             par_map(threads, &self.token, scenarios, |_, s| self.eval(base, s))
         };
         let cancelled = results.iter().any(|r| r.is_none());
+        if cancelled {
+            sweep_counters().cancelled.incr();
+        }
         SweepOutcome {
             results,
             cancelled,

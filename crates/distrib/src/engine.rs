@@ -62,6 +62,32 @@ impl DistributedRunResult {
     }
 }
 
+/// Process-wide cluster-engine counters — iteration counts and degradation
+/// totals across every [`MultiGpuEngine`] instance; per-run numbers stay in
+/// [`DistributedRunResult`].
+struct EngineCounters {
+    _group: std::sync::Arc<dlperf_obs::CounterGroup>,
+    runs: dlperf_obs::CounterHandle,
+    collective_retries: dlperf_obs::CounterHandle,
+    dropped_collectives: dlperf_obs::CounterHandle,
+}
+
+fn engine_counters() -> &'static EngineCounters {
+    static G: std::sync::OnceLock<EngineCounters> = std::sync::OnceLock::new();
+    G.get_or_init(|| {
+        let group = dlperf_obs::CounterGroup::register(
+            "distrib.engine",
+            &["runs", "collective_retries", "dropped_collectives"],
+        );
+        EngineCounters {
+            runs: group.handle("runs"),
+            collective_retries: group.handle("collective_retries"),
+            dropped_collectives: group.handle("dropped_collectives"),
+            _group: group,
+        }
+    })
+}
+
 /// A homogeneous cluster of simulated GPUs.
 #[derive(Debug)]
 pub struct MultiGpuEngine {
@@ -154,6 +180,7 @@ impl MultiGpuEngine {
     /// Propagates [`EngineError`]s from malformed segment graphs or
     /// degenerate kernel times.
     pub fn run(&mut self, job: &DistributedDlrm) -> Result<DistributedRunResult, EngineError> {
+        let _span = dlperf_obs::span("distrib.run", dlperf_obs::SpanKind::Work);
         let iteration = self.iteration;
         self.iteration += 1;
 
@@ -224,6 +251,11 @@ impl MultiGpuEngine {
                 }
             }
         }
+
+        let c = engine_counters();
+        c.runs.incr();
+        c.collective_retries.add(u64::from(collective_retries));
+        c.dropped_collectives.add(dropped_collectives.iter().filter(|&&d| d).count() as u64);
 
         Ok(DistributedRunResult {
             e2e_us: segment_us.iter().sum::<f64>() + comm_us.iter().sum::<f64>(),

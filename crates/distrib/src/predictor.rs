@@ -91,10 +91,14 @@ impl DistributedPredictor {
         baselines: &SegmentBaselines,
         cache: Option<&MemoCache>,
     ) -> Result<(DistributedPrediction, IncrementalSummary), LowerError> {
+        let _span = dlperf_obs::span("distrib.predict", dlperf_obs::SpanKind::Phase);
         let mut summary = IncrementalSummary::default();
         let mut segment_us = [0.0f64; 4];
         for rank in 0..job.world() {
             for (i, seg) in job.segments(rank).iter().enumerate() {
+                let _seg_span = dlperf_obs::span_with(dlperf_obs::SpanKind::Work, || {
+                    format!("segment:S{}/r{rank}", i + 1)
+                });
                 let p = match baselines.get(i) {
                     Some(b) => {
                         let (p, stats) = b.repredict(seg, cache)?;
@@ -117,9 +121,13 @@ impl DistributedPredictor {
         job: &DistributedDlrm,
         cache: Option<&MemoCache>,
     ) -> Result<DistributedPrediction, LowerError> {
+        let _span = dlperf_obs::span("distrib.predict", dlperf_obs::SpanKind::Phase);
         let mut segment_us = [0.0f64; 4];
         for rank in 0..job.world() {
             for (i, seg) in job.segments(rank).iter().enumerate() {
+                let _seg_span = dlperf_obs::span_with(dlperf_obs::SpanKind::Work, || {
+                    format!("segment:S{}/r{rank}", i + 1)
+                });
                 let p = match cache {
                     Some(c) => self.predictor.predict_memoized(seg, c)?,
                     None => self.predictor.predict(seg)?,

@@ -248,6 +248,32 @@ pub struct CollectiveOutcome {
     pub total_us: f64,
 }
 
+/// Process-wide injection counters — totals across every injector
+/// instance, surfaced through the `dlperf-obs` recorder. The decisions
+/// themselves stay stateless; the counters only observe them.
+struct InjectorCounters {
+    _group: std::sync::Arc<dlperf_obs::CounterGroup>,
+    worker_faults: dlperf_obs::CounterHandle,
+    collective_retries: dlperf_obs::CounterHandle,
+    collective_drops: dlperf_obs::CounterHandle,
+}
+
+fn injector_counters() -> &'static InjectorCounters {
+    static G: std::sync::OnceLock<InjectorCounters> = std::sync::OnceLock::new();
+    G.get_or_init(|| {
+        let group = dlperf_obs::CounterGroup::register(
+            "faults.injector",
+            &["worker_faults", "collective_retries", "collective_drops"],
+        );
+        InjectorCounters {
+            worker_faults: group.handle("worker_faults"),
+            collective_retries: group.handle("collective_retries"),
+            collective_drops: group.handle("collective_drops"),
+            _group: group,
+        }
+    })
+}
+
 /// Turns a [`FaultPlan`] into per-site decisions.
 ///
 /// Stateless by construction: every stochastic decision hashes
@@ -363,13 +389,15 @@ impl FaultInjector {
             added += self.plan.collective_timeout_us
                 + self.plan.backoff_base_us * f64::from(1u32 << (attempts - 1).min(20));
         }
-        CollectiveOutcome {
+        let outcome = CollectiveOutcome {
             attempts,
             retries: attempts - 1,
             added_latency_us: added,
             dropped,
             total_us: base_us + added,
-        }
+        };
+        record_collective(&outcome);
+        outcome
     }
 
     /// Like [`FaultInjector::collective_outcome`], but with a retry
@@ -415,13 +443,15 @@ impl FaultInjector {
             }
             added += penalty;
         }
-        CollectiveOutcome {
+        let outcome = CollectiveOutcome {
             attempts,
             retries: attempts - 1,
             added_latency_us: added,
             dropped,
             total_us: base_us + added,
-        }
+        };
+        record_collective(&outcome);
+        outcome
     }
 
     /// Evaluates the worker-fault model at the stateless site
@@ -441,7 +471,7 @@ impl FaultInjector {
             w.kill_prob.clamp(0.0, 1.0),
             w.hang_prob.clamp(0.0, 1.0),
         );
-        if u < p_panic {
+        let fault = if u < p_panic {
             Some(WorkerFault::Panic)
         } else if u < p_panic + p_kill {
             Some(WorkerFault::Kill)
@@ -449,7 +479,20 @@ impl FaultInjector {
             Some(WorkerFault::Hang)
         } else {
             None
+        };
+        if fault.is_some() {
+            injector_counters().worker_faults.incr();
         }
+        fault
+    }
+}
+
+/// Mirrors one collective outcome into the injector counters.
+fn record_collective(outcome: &CollectiveOutcome) {
+    let c = injector_counters();
+    c.collective_retries.add(u64::from(outcome.retries));
+    if outcome.dropped {
+        c.collective_drops.incr();
     }
 }
 

@@ -121,7 +121,9 @@ impl OpKind {
             OpKind::MseLoss => "aten::mse_loss",
             OpKind::MseLossBackward => "MseLossBackward0",
             OpKind::Transpose => "aten::transpose",
-            OpKind::Tril => "aten::index",
+            // `aten::tril` is lowered to index kernels, but its host-side
+            // overhead stats must not alias genuine `aten::index` ops.
+            OpKind::Tril => "aten::tril",
             OpKind::TrilBackward => "IndexBackward",
             OpKind::To { .. } => "aten::to",
             OpKind::Conv2d { .. } => "aten::conv2d",

@@ -25,7 +25,7 @@
 //! use dlperf_kernels::registry::{CalibrationEffort, ModelRegistry};
 //!
 //! let registry = ModelRegistry::calibrate(&DeviceSpec::v100(), CalibrationEffort::Quick, 7);
-//! let t = registry.predict(&KernelSpec::gemm(1024, 1024, 1024));
+//! let t = registry.try_predict(&KernelSpec::gemm(1024, 1024, 1024)).unwrap();
 //! assert!(t > 0.0);
 //! ```
 
@@ -41,4 +41,6 @@ pub use error::{ErrorStats, ErrorStatsError};
 pub use memo::{CachePadded, MemoCache, MemoCacheStats, MemoKey};
 pub use microbench::{MicrobenchHarness, MicrobenchJob, Microbenchmark, Sample};
 pub use persist::RegistryBundle;
-pub use registry::{CalibrationEffort, Confidence, KernelPerfModel, ModelRegistry};
+pub use registry::{
+    CalibrationEffort, Confidence, KernelPerfModel, MissingModelError, ModelRegistry,
+};

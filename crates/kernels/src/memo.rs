@@ -29,10 +29,10 @@
 //! device. The sweep engine therefore keeps one cache per pipeline.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use dlperf_gpusim::{KernelFamily, KernelSpec, MemcpyKind};
+use dlperf_obs::{CounterGroup, CounterHandle};
 use serde::{Deserialize, Serialize};
 
 use crate::registry::{Confidence, ModelRegistry};
@@ -181,8 +181,13 @@ impl std::fmt::Display for MemoCacheStats {
 #[derive(Debug)]
 pub struct MemoCache {
     shards: Vec<Mutex<HashMap<MemoKey, (f64, Confidence)>>>,
-    hits: CachePadded<AtomicU64>,
-    misses: CachePadded<AtomicU64>,
+    /// The hit/miss counts live in a `dlperf-obs` counter group (each
+    /// `obs::Counter` is cache-line padded), so recorder flushes export
+    /// them alongside every other subsystem's counters;
+    /// [`MemoCacheStats`] is a point-in-time view over the same atomics.
+    obs: Arc<CounterGroup>,
+    hits: CounterHandle,
+    misses: CounterHandle,
 }
 
 impl Default for MemoCache {
@@ -194,11 +199,20 @@ impl Default for MemoCache {
 impl MemoCache {
     /// An empty cache.
     pub fn new() -> Self {
+        let obs = CounterGroup::register("kernels.memo", &["hits", "misses"]);
+        let hits = obs.handle("hits");
+        let misses = obs.handle("misses");
         MemoCache {
             shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
-            hits: CachePadded(AtomicU64::new(0)),
-            misses: CachePadded(AtomicU64::new(0)),
+            obs,
+            hits,
+            misses,
         }
+    }
+
+    /// This cache's recorder counter group.
+    pub fn counters(&self) -> &Arc<CounterGroup> {
+        &self.obs
     }
 
     /// Looks up `key`, evaluating `compute` and storing its result on a
@@ -210,11 +224,11 @@ impl MemoCache {
     ) -> (f64, Confidence) {
         let shard = &self.shards[key.shard()];
         if let Some(&v) = shard.lock().expect("memo shard poisoned").get(&key) {
-            self.hits.0.fetch_add(1, Ordering::Relaxed);
+            self.hits.incr();
             return v;
         }
         let v = compute();
-        self.misses.0.fetch_add(1, Ordering::Relaxed);
+        self.misses.incr();
         shard.lock().expect("memo shard poisoned").insert(key, v);
         v
     }
@@ -222,8 +236,8 @@ impl MemoCache {
     /// Current counters.
     pub fn stats(&self) -> MemoCacheStats {
         MemoCacheStats {
-            hits: self.hits.0.load(Ordering::Relaxed),
-            misses: self.misses.0.load(Ordering::Relaxed),
+            hits: self.hits.get(),
+            misses: self.misses.get(),
             entries: self
                 .shards
                 .iter()
@@ -237,8 +251,14 @@ impl MemoCache {
         for s in &self.shards {
             s.lock().expect("memo shard poisoned").clear();
         }
-        self.hits.0.store(0, Ordering::Relaxed);
-        self.misses.0.store(0, Ordering::Relaxed);
+        self.hits.reset();
+        self.misses.reset();
+    }
+}
+
+impl From<&MemoCache> for MemoCacheStats {
+    fn from(cache: &MemoCache) -> Self {
+        cache.stats()
     }
 }
 
@@ -301,10 +321,10 @@ impl ModelRegistry {
             }
         }
         if hits > 0 {
-            cache.hits.0.fetch_add(hits, Ordering::Relaxed);
+            cache.hits.add(hits);
         }
         if !miss_idx.is_empty() {
-            cache.misses.0.fetch_add(miss_idx.len() as u64, Ordering::Relaxed);
+            cache.misses.add(miss_idx.len() as u64);
             let specs: Vec<KernelSpec> =
                 miss_idx.iter().map(|&i| kernels[i].clone()).collect();
             let values = self.predict_batch_with_confidence(&specs);
@@ -451,8 +471,26 @@ mod tests {
 
     #[test]
     fn cache_padding_aligns_counters() {
+        use std::sync::atomic::AtomicU64;
         assert_eq!(std::mem::align_of::<CachePadded<AtomicU64>>(), 64);
         assert_eq!(std::mem::size_of::<CachePadded<AtomicU64>>(), 64);
+        // The obs counters backing the memo stats carry the same padding.
+        assert_eq!(std::mem::align_of::<dlperf_obs::Counter>(), 64);
+    }
+
+    #[test]
+    fn stats_view_is_a_conversion_over_recorder_counters() {
+        let cache = MemoCache::new();
+        cache.get_or_insert_with(MemoKey::of(&KernelSpec::gemm(8, 8, 8)), || {
+            (1.0, Confidence::Calibrated)
+        });
+        cache.get_or_insert_with(MemoKey::of(&KernelSpec::gemm(8, 8, 8)), || {
+            unreachable!("second lookup must hit")
+        });
+        let view = MemoCacheStats::from(&cache);
+        assert_eq!(view, cache.stats());
+        assert_eq!(cache.counters().value("hits"), view.hits);
+        assert_eq!(cache.counters().value("misses"), view.misses);
     }
 
     #[test]

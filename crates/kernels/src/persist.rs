@@ -187,7 +187,7 @@ mod tests {
             KernelSpec::Transpose { batch: 512, rows: 9, cols: 64 },
             KernelSpec::TrilForward { batch: 512, n: 9 },
         ] {
-            assert_eq!(a.predict(&k), b.predict(&k), "mismatch on {k:?}");
+            assert_eq!(a.try_predict(&k).unwrap(), b.try_predict(&k).unwrap(), "mismatch on {k:?}");
         }
     }
 

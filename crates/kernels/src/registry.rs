@@ -60,6 +60,25 @@ fn datasheet_roofline(device: &DeviceSpec, kernel: &KernelSpec) -> f64 {
     t_compute.max(t_mem) + device.kernel_start_us
 }
 
+/// A prediction was requested for a family with no registered model.
+///
+/// Returned by [`ModelRegistry::try_predict`]; callers that prefer a
+/// best-effort estimate over an error use
+/// [`ModelRegistry::predict_with_confidence`] instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MissingModelError {
+    /// The family that had no model.
+    pub family: KernelFamily,
+}
+
+impl std::fmt::Display for MissingModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "no model registered for family {}", self.family)
+    }
+}
+
+impl std::error::Error for MissingModelError {}
+
 /// A kernel performance model: predicts the execution time of one family.
 pub trait KernelPerfModel: Send + Sync {
     /// Predicted time in microseconds.
@@ -143,6 +162,11 @@ impl CalibrationEffort {
 pub struct ModelRegistry {
     models: HashMap<KernelFamily, Arc<dyn KernelPerfModel>>,
     device: DeviceSpec,
+    /// Dispatch counters, shared across clones of this registry (clones
+    /// serve the same calibration, so their traffic aggregates).
+    obs: Arc<dlperf_obs::CounterGroup>,
+    degraded: dlperf_obs::CounterHandle,
+    batch_calls: dlperf_obs::CounterHandle,
 }
 
 impl std::fmt::Debug for ModelRegistry {
@@ -160,7 +184,19 @@ impl std::fmt::Debug for ModelRegistry {
 impl ModelRegistry {
     /// An empty registry for manual assembly.
     pub fn empty(device: DeviceSpec) -> Self {
-        ModelRegistry { models: HashMap::new(), device }
+        let obs = dlperf_obs::CounterGroup::register(
+            format!("kernels.registry/{}", device.name),
+            &["degraded", "batch_calls"],
+        );
+        let degraded = obs.handle("degraded");
+        let batch_calls = obs.handle("batch_calls");
+        ModelRegistry { models: HashMap::new(), device, obs, degraded, batch_calls }
+    }
+
+    /// This registry's dispatch counters (degraded fallbacks, batched
+    /// calls), shared by every clone.
+    pub fn counters(&self) -> &Arc<dlperf_obs::CounterGroup> {
+        &self.obs
     }
 
     /// The device this registry was calibrated for.
@@ -178,15 +214,28 @@ impl ModelRegistry {
         self.models.get(&family)
     }
 
+    /// Predicted execution time of `kernel` in microseconds, or an error
+    /// when no model is registered for the kernel's family.
+    ///
+    /// # Errors
+    /// [`MissingModelError`] naming the uncovered family.
+    pub fn try_predict(&self, kernel: &KernelSpec) -> Result<f64, MissingModelError> {
+        match self.models.get(&kernel.family()) {
+            Some(model) => Ok(model.predict(kernel)),
+            None => Err(MissingModelError { family: kernel.family() }),
+        }
+    }
+
     /// Predicted execution time of `kernel` in microseconds.
     ///
     /// # Panics
     /// Panics if no model is registered for the kernel's family.
+    #[deprecated(
+        note = "panics on uncovered families; use `try_predict` (error) or \
+                `predict_with_confidence` (degraded fallback) instead"
+    )]
     pub fn predict(&self, kernel: &KernelSpec) -> f64 {
-        self.models
-            .get(&kernel.family())
-            .unwrap_or_else(|| panic!("no model registered for family {}", kernel.family()))
-            .predict(kernel)
+        self.try_predict(kernel).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Predicted execution time plus the confidence of the prediction.
@@ -198,7 +247,10 @@ impl ModelRegistry {
     pub fn predict_with_confidence(&self, kernel: &KernelSpec) -> (f64, Confidence) {
         match self.models.get(&kernel.family()) {
             Some(model) => (model.predict(kernel), Confidence::Calibrated),
-            None => (datasheet_roofline(&self.device, kernel), Confidence::Degraded),
+            None => {
+                self.degraded.incr();
+                (datasheet_roofline(&self.device, kernel), Confidence::Degraded)
+            }
         }
     }
 
@@ -210,6 +262,7 @@ impl ModelRegistry {
     /// pure function and every batched override is pinned to its scalar
     /// path bit-for-bit.
     pub fn predict_batch_with_confidence(&self, kernels: &[KernelSpec]) -> Vec<(f64, Confidence)> {
+        self.batch_calls.incr();
         // Single-family batches (the common shape once a walker has grouped
         // its misses) skip the grouping, clone, and scatter entirely.
         if let Some(first) = kernels.first() {
@@ -221,10 +274,13 @@ impl ModelRegistry {
                         .into_iter()
                         .map(|t| (t, Confidence::Calibrated))
                         .collect(),
-                    None => kernels
-                        .iter()
-                        .map(|k| (datasheet_roofline(&self.device, k), Confidence::Degraded))
-                        .collect(),
+                    None => {
+                        self.degraded.add(kernels.len() as u64);
+                        kernels
+                            .iter()
+                            .map(|k| (datasheet_roofline(&self.device, k), Confidence::Degraded))
+                            .collect()
+                    }
                 };
             }
         }
@@ -253,6 +309,7 @@ impl ModelRegistry {
                     }
                 }
                 None => {
+                    self.degraded.add(idxs.len() as u64);
                     for &i in idxs {
                         out[i] = Some((
                             datasheet_roofline(&self.device, &kernels[i]),
@@ -282,6 +339,9 @@ impl ModelRegistry {
         effort: CalibrationEffort,
         seed: u64,
     ) -> crate::persist::RegistryBundle {
+        let _span = dlperf_obs::span_with(dlperf_obs::SpanKind::Phase, || {
+            format!("registry.calibrate/{}", device.name)
+        });
         let mut mb = Microbenchmark::new(device, seed, 15);
         let cfg = effort.train_config();
 
@@ -373,7 +433,8 @@ mod tests {
             KernelSpec::memcpy_d2d(4 << 20),
             KernelSpec::embedding_forward(2048, 1_000_000, 8, 10, 64),
         ];
-        let preds: Vec<f64> = eval.iter().map(|k| reg.predict(k)).collect();
+        let preds: Vec<f64> =
+            eval.iter().map(|k| reg.try_predict(k).expect("family covered")).collect();
         let actual: Vec<f64> = eval.iter().map(|k| gpu.kernel_time_noiseless(k)).collect();
         let stats = ErrorStats::from_pairs(&preds, &actual);
         assert!(stats.mean < 0.5, "quick calibration too far off: {stats}");
@@ -381,9 +442,31 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "no model registered")]
+    #[allow(deprecated)]
     fn missing_family_panics() {
         let reg = ModelRegistry::empty(DeviceSpec::v100());
         reg.predict(&KernelSpec::gemm(8, 8, 8));
+    }
+
+    #[test]
+    fn missing_family_is_a_typed_error_from_try_predict() {
+        let reg = ModelRegistry::empty(DeviceSpec::v100());
+        let err = reg.try_predict(&KernelSpec::gemm(8, 8, 8)).unwrap_err();
+        assert_eq!(err.family, KernelFamily::Gemm);
+        assert!(err.to_string().contains("no model registered"));
+    }
+
+    #[test]
+    fn degraded_fallbacks_are_counted() {
+        let reg = ModelRegistry::empty(DeviceSpec::v100());
+        let before = reg.counters().value("degraded");
+        let _ = reg.predict_with_confidence(&KernelSpec::gemm(8, 8, 8));
+        let _ = reg.predict_batch_with_confidence(&[
+            KernelSpec::gemm(8, 8, 8),
+            KernelSpec::memcpy_d2d(1 << 10),
+        ]);
+        assert_eq!(reg.counters().value("degraded") - before, 3);
+        assert_eq!(reg.counters().value("batch_calls"), 1);
     }
 
     #[test]
@@ -408,7 +491,7 @@ mod tests {
         let k = KernelSpec::gemm(1024, 512, 256);
         let (t, conf) = reg.predict_with_confidence(&k);
         assert_eq!(conf, Confidence::Calibrated);
-        assert_eq!(t, reg.predict(&k));
+        assert_eq!(t, reg.try_predict(&k).expect("family covered"));
     }
 
     #[test]

@@ -1,0 +1,39 @@
+//! Prints the recorder's per-span cost, enabled vs disabled — the numbers
+//! behind the overhead budget the bench gate enforces (`obs_overhead_pct`
+//! in `BENCH_sweep.json`).
+//!
+//! Run with `cargo run --release -p dlperf-obs --example span_cost`.
+
+fn main() {
+    const N: u32 = 100_000;
+    dlperf_obs::enable();
+    for _ in 0..1_000 {
+        drop(dlperf_obs::span("warm", dlperf_obs::SpanKind::Work));
+    }
+
+    let t0 = std::time::Instant::now();
+    for _ in 0..N {
+        drop(dlperf_obs::span("static-name", dlperf_obs::SpanKind::Work));
+    }
+    let static_ns = t0.elapsed().as_nanos() as f64 / f64::from(N);
+
+    let t0 = std::time::Instant::now();
+    for i in 0..N {
+        drop(dlperf_obs::span_with(dlperf_obs::SpanKind::Work, || format!("scenario:{i}")));
+    }
+    let with_ns = t0.elapsed().as_nanos() as f64 / f64::from(N);
+
+    dlperf_obs::disable();
+    let drained = dlperf_obs::flush().spans.len();
+
+    let t0 = std::time::Instant::now();
+    for i in 0..N {
+        drop(dlperf_obs::span_with(dlperf_obs::SpanKind::Work, || format!("scenario:{i}")));
+    }
+    let off_ns = t0.elapsed().as_nanos() as f64 / f64::from(N);
+
+    println!("enabled, static name:    {static_ns:>7.0} ns/span");
+    println!("enabled, formatted name: {with_ns:>7.0} ns/span");
+    println!("disabled:                {off_ns:>7.1} ns/span (name closure never runs)");
+    println!("spans drained at flush:  {drained}");
+}

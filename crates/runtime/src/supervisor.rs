@@ -213,6 +213,33 @@ fn open_checkpoint<S: serde::de::DeserializeOwned>(
     Ok((step, serde_json::from_str(&state_json)?))
 }
 
+/// Process-wide supervisor counters — attempt/checkpoint totals across
+/// every [`Supervisor`] instance; the per-run numbers stay in [`RunReport`].
+struct SupervisorCounters {
+    _group: std::sync::Arc<dlperf_obs::CounterGroup>,
+    attempts: dlperf_obs::CounterHandle,
+    steps: dlperf_obs::CounterHandle,
+    checkpoints_written: dlperf_obs::CounterHandle,
+    restarts: dlperf_obs::CounterHandle,
+}
+
+fn supervisor_counters() -> &'static SupervisorCounters {
+    static G: std::sync::OnceLock<SupervisorCounters> = std::sync::OnceLock::new();
+    G.get_or_init(|| {
+        let group = dlperf_obs::CounterGroup::register(
+            "runtime.supervisor",
+            &["attempts", "steps", "checkpoints_written", "restarts"],
+        );
+        SupervisorCounters {
+            attempts: group.handle("attempts"),
+            steps: group.handle("steps"),
+            checkpoints_written: group.handle("checkpoints_written"),
+            restarts: group.handle("restarts"),
+            _group: group,
+        }
+    })
+}
+
 /// How one attempt ended (internal).
 enum AttemptEnd<S> {
     Done(S),
@@ -305,6 +332,8 @@ impl Supervisor {
         &mut self,
         job: &J,
     ) -> (Result<J::Output, SupervisorError>, RunReport) {
+        let _span =
+            dlperf_obs::span_with(dlperf_obs::SpanKind::Phase, || format!("supervise:{}", job.name()));
         let mut report = RunReport { job: job.name().to_string(), ..RunReport::default() };
         let run_started = Instant::now();
         let job_key = site_key(job.name());
@@ -331,6 +360,9 @@ impl Supervisor {
             attempt += 1;
             report.attempts = attempt;
             report.steps_completed = report.steps_completed.max(step0);
+            supervisor_counters().attempts.incr();
+            let _attempt_span =
+                dlperf_obs::span_with(dlperf_obs::SpanKind::Phase, || format!("attempt:{attempt}"));
 
             let attempt_token = CancellationToken::new();
             let _attempt_watchdog = self
@@ -359,6 +391,7 @@ impl Supervisor {
                 }
                 Ok(AttemptEnd::Fatal(e)) => return (Err(e), report),
                 Ok(AttemptEnd::Retry(cause)) | Err(cause) => {
+                    supervisor_counters().restarts.incr();
                     report.restarts.push(RestartRecord {
                         attempt,
                         at_step: report.steps_completed,
@@ -535,6 +568,9 @@ impl Supervisor {
         report.steps_run += steps_run;
         report.checkpoints_written += checkpoints;
         report.injected_faults += injected;
+        let counters = supervisor_counters();
+        counters.steps.add(steps_run);
+        counters.checkpoints_written.add(checkpoints);
         report.steps_completed = report.steps_completed.max(completed);
 
         match caught {

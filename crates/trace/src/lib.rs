@@ -19,6 +19,9 @@
 //!   (Figs. 7–8) consumed by the E2E predictor.
 //! * [`overheads`] — the ground-truth overhead distributions of the
 //!   simulated platform.
+//! * [`selftrace`] — a `dlperf-obs` sink that renders the predictor's own
+//!   recorded spans in this crate's trace dialect, so the whole analysis
+//!   stack above can profile the model itself.
 //!
 //! ## Example
 //!
@@ -42,6 +45,7 @@ pub mod event_tree;
 pub mod events;
 pub mod extract;
 pub mod overheads;
+pub mod selftrace;
 pub mod stats;
 
 pub use breakdown::DeviceBreakdown;
@@ -49,3 +53,4 @@ pub use engine::{EngineError, ExecutionEngine, RunResult};
 pub use events::{EventCat, Trace, TraceEvent, TraceLoadError};
 pub use extract::{OverheadStats, OverheadType};
 pub use overheads::OverheadProfile;
+pub use selftrace::ChromeTraceSink;

@@ -7,14 +7,29 @@
 //! sequential uncached sweep, just faster (both are run and compared).
 //!
 //! Run with `cargo run --release --example whatif_batch_and_device`.
+//!
+//! Set `DLPERF_SELF_TRACE=/path/to/selftrace.json` to record the sweep
+//! through the `dlperf-obs` recorder and write a self-trace the `trace`
+//! crate can re-ingest (the model profiling itself); a short host/device
+//! breakdown of the recording is printed at the end.
 
 use dlrm_perf_model::core::pipeline::Pipeline;
 use dlrm_perf_model::core::sweep::{GraphMutation, ScenarioMatrix, SweepEngine};
 use dlrm_perf_model::gpusim::DeviceSpec;
 use dlrm_perf_model::kernels::CalibrationEffort;
 use dlrm_perf_model::models::DlrmConfig;
+use dlrm_perf_model::obs;
+use dlrm_perf_model::trace::event_tree::EventTree;
+use dlrm_perf_model::trace::ChromeTraceSink;
 
 fn main() {
+    let self_trace = std::env::var("DLPERF_SELF_TRACE").ok();
+    let sink = self_trace.as_ref().map(|_| {
+        let sink = ChromeTraceSink::install("whatif_batch_and_device", "host");
+        obs::enable();
+        sink
+    });
+
     let graph = DlrmConfig::default_config(1024).build();
     let batches = [128u64, 256, 512, 1024, 2048, 4096];
     let devices = DeviceSpec::paper_devices();
@@ -87,4 +102,38 @@ fn main() {
     );
     println!("\nNote how the faster GPU helps less at low utilization: the CPU");
     println!("overheads, not the kernels, are the bottleneck the model exposes.");
+
+    if let (Some(path), Some(sink)) = (self_trace, sink) {
+        obs::disable();
+        let snapshot = obs::flush();
+        obs::clear_sinks();
+        sink.write_json(&path).expect("self-trace written");
+
+        // Re-ingest the trace we just wrote through the ordinary analysis
+        // pipeline: the model's own run, mined like a profiler trace.
+        let traces = ChromeTraceSink::parse_json(
+            &std::fs::read_to_string(&path).expect("self-trace readable"),
+        )
+        .expect("self-trace parses");
+        let mut ops = 0usize;
+        let mut host_us = 0.0;
+        let mut device_us = 0.0;
+        for t in &traces {
+            let tree = EventTree::build(t);
+            ops += tree.ops.len();
+            host_us += t.span_us;
+            device_us += tree.total_device_time_us();
+        }
+        println!("\n== Self-trace ({path}) ==");
+        println!("threads recorded: {}", traces.len());
+        println!("top-level ops:    {ops}");
+        println!("host span:        {host_us:.0} us  (sum over threads)");
+        println!("work attributed:  {device_us:.0} us");
+        let walks = snapshot
+            .counters
+            .iter()
+            .find(|c| c.group == "core.walk" && c.name == "walks")
+            .map_or(0, |c| c.value);
+        println!("walk count:       {walks}");
+    }
 }

@@ -45,6 +45,7 @@
 //! ```
 
 pub use dlperf_core as core;
+pub use dlperf_obs as obs;
 pub use dlperf_distrib as distrib;
 pub use dlperf_faults as faults;
 pub use dlperf_gpusim as gpusim;

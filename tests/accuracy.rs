@@ -83,7 +83,7 @@ fn kernel_family_gmae_under_pinned_thresholds() {
     let mut report = String::new();
     let mut failed = false;
     for (name, threshold, specs) in family_zoo() {
-        let pred: Vec<f64> = specs.iter().map(|k| registry.predict(k)).collect();
+        let pred: Vec<f64> = specs.iter().map(|k| registry.try_predict(k).unwrap()).collect();
         let actual: Vec<f64> = specs.iter().map(|k| gpu.kernel_time_noiseless(k)).collect();
         let stats = ErrorStats::try_from_pairs(&pred, &actual).expect("positive oracle times");
         report.push_str(&format!(
