@@ -24,6 +24,9 @@ use std::process::ExitCode;
 
 const GATED_KEYS: [&str; 2] = ["speedup", "memo_speedup"];
 const CEILINGS: [(&str, f64); 1] = [("obs_overhead_pct", 3.0)];
+/// Run-configuration keys echoed (never gated) so the log records the
+/// threading context the gated ratios were measured under.
+const CONTEXT_KEYS: [&str; 3] = ["sweep_threads", "effective_threads", "host_threads"];
 const DEFAULT_TOLERANCE: f64 = 0.10;
 
 fn main() -> ExitCode {
@@ -54,10 +57,15 @@ fn main() -> ExitCode {
     };
     let regression = dlperf_bench::check_regression(&baseline, &fresh, &GATED_KEYS, tolerance);
     let ceilings = dlperf_bench::check_ceilings(&fresh, &CEILINGS);
+    let context = dlperf_bench::context_report(&baseline, &fresh, &CONTEXT_KEYS);
     match (regression, ceilings) {
         (Ok(report), Ok(ceiling_report)) => {
             println!("bench gate passed ({:.0}% tolerance):", tolerance * 100.0);
             for line in report.into_iter().chain(ceiling_report) {
+                println!("  {line}");
+            }
+            println!("context:");
+            for line in &context {
                 println!("  {line}");
             }
             ExitCode::SUCCESS
@@ -67,6 +75,10 @@ fn main() -> ExitCode {
             for line in [regression, ceilings].into_iter().flat_map(|r| match r {
                 Ok(lines) | Err(lines) => lines,
             }) {
+                eprintln!("  {line}");
+            }
+            eprintln!("context:");
+            for line in &context {
                 eprintln!("  {line}");
             }
             ExitCode::FAILURE

@@ -236,6 +236,35 @@ pub fn check_ceilings(
     }
 }
 
+/// Reports non-gated context keys from both bench documents — run
+/// configuration like `sweep_threads` that explains *why* the gated ratios
+/// moved without ever failing the gate itself. A threading change between
+/// baseline and fresh (e.g. a runner with different core counts) shows up
+/// here as `baseline 1, fresh 4`, flagged `CHANGED` so the log reader sees
+/// the confound next to the gated numbers.
+///
+/// Unparseable documents and missing keys degrade to report lines, never
+/// errors: context must not be able to fail CI.
+pub fn context_report(baseline_json: &str, fresh_json: &str, keys: &[&str]) -> Vec<String> {
+    let baseline = serde::value::parse(baseline_json).ok();
+    let fresh = serde::value::parse(fresh_json).ok();
+    let text = |doc: &Option<serde::Value>, key: &str| -> Option<String> {
+        let v = doc.as_ref()?.get(key)?;
+        v.as_str().map(str::to_string).or_else(|| v.as_f64().map(|n| format!("{n}")))
+    };
+    keys.iter()
+        .map(|&key| {
+            match (text(&baseline, key), text(&fresh, key)) {
+                (Some(b), Some(f)) if b == f => format!("{key}: {f}"),
+                (Some(b), Some(f)) => format!("{key}: CHANGED baseline {b}, fresh {f}"),
+                (None, Some(f)) => format!("{key}: fresh {f} (absent in baseline)"),
+                (Some(b), None) => format!("{key}: baseline {b} (absent in fresh)"),
+                (None, None) => format!("{key}: absent"),
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     #[test]
@@ -266,5 +295,24 @@ mod tests {
         assert!(failures[0].contains("OVER BUDGET obs_overhead_pct"), "{failures:?}");
 
         assert!(super::check_ceilings("not json", &ceilings).is_err());
+    }
+
+    #[test]
+    fn context_report_surfaces_changes_but_cannot_fail() {
+        let baseline = r#"{"sweep_threads":"1","host_threads":"8"}"#;
+        let fresh = r#"{"sweep_threads":"4","effective_threads":"4"}"#;
+        let keys = ["sweep_threads", "host_threads", "effective_threads", "nope"];
+        let lines = super::context_report(baseline, fresh, &keys);
+        assert_eq!(lines.len(), keys.len());
+        assert!(lines[0].contains("CHANGED baseline 1, fresh 4"), "{lines:?}");
+        assert!(lines[1].contains("absent in fresh"), "{lines:?}");
+        assert!(lines[2].contains("absent in baseline"), "{lines:?}");
+        assert!(lines[3].contains("absent"), "{lines:?}");
+
+        // Identical values print once, and garbage documents degrade to
+        // "absent" lines rather than panics or errors.
+        let same = super::context_report(baseline, baseline, &["sweep_threads"]);
+        assert_eq!(same, ["sweep_threads: 1"]);
+        assert_eq!(super::context_report("not json", "{}", &["k"]), ["k: absent"]);
     }
 }

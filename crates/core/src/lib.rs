@@ -44,9 +44,10 @@ pub mod sweep;
 
 pub use incremental::{IncrementalPredictor, IncrementalStats};
 pub use pipeline::{AnalysisJob, AnalysisReport, AnalysisState, Pipeline, PipelineError};
-pub use predictor::{E2ePredictor, OverheadGranularity, Prediction, T4Policy};
+pub use predictor::{E2ePredictor, OverheadGranularity, PredictError, Prediction, T4Policy};
 pub use report::{ErrorSummary, PredictionRow};
 pub use sweep::{
-    par_map, GraphMutation, IncrementalSummary, Scenario, ScenarioMatrix, ScenarioResult,
-    SweepEngine, SweepOutcome, SweepState,
+    par_map, prepare_graph, GraphMutation, IncrementalSummary, PreparedStore,
+    PreparedStoreStats, Scenario, ScenarioMatrix, ScenarioResult, SweepEngine, SweepOutcome,
+    SweepState, DEFAULT_MEMO_CAPACITY,
 };

@@ -347,6 +347,23 @@ impl Pipeline {
         self.predictor.predict_memoized(graph, cache)
     }
 
+    /// Like [`Pipeline::predict_memoized`], but honouring a cancellation
+    /// token between op steps (see
+    /// [`E2ePredictor::predict_memoized_cancellable`]); a completed run is
+    /// bitwise identical to the non-cancellable path.
+    ///
+    /// # Errors
+    /// [`crate::predictor::PredictError`] on malformed graphs or when the
+    /// token fired mid-walk.
+    pub fn predict_memoized_cancellable(
+        &self,
+        graph: &Graph,
+        cache: &dlperf_kernels::MemoCache,
+        token: &dlperf_runtime::CancellationToken,
+    ) -> Result<Prediction, crate::predictor::PredictError> {
+        self.predictor.predict_memoized_cancellable(graph, cache, token)
+    }
+
     /// Predicts with the workload's individual overheads when available,
     /// falling back to shared.
     ///

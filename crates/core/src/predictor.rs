@@ -17,8 +17,36 @@ use dlperf_graph::lower::{self, LowerError};
 use dlperf_graph::{Graph, Node, TensorId};
 use dlperf_gpusim::KernelSpec;
 use dlperf_kernels::{Confidence, MemoCache, ModelRegistry};
+use dlperf_runtime::CancellationToken;
 use dlperf_trace::{OverheadStats, OverheadType};
 use serde::{Deserialize, Serialize};
+
+/// Why a cancellable prediction did not produce a value.
+#[derive(Debug)]
+pub enum PredictError {
+    /// The graph failed to lower (malformed shapes).
+    Lower(LowerError),
+    /// The walk observed its [`CancellationToken`] mid-flight — deadline
+    /// expired or shutdown requested — and stopped within one op step.
+    Cancelled,
+}
+
+impl std::fmt::Display for PredictError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PredictError::Lower(e) => write!(f, "lowering failed: {e}"),
+            PredictError::Cancelled => write!(f, "prediction cancelled before completion"),
+        }
+    }
+}
+
+impl std::error::Error for PredictError {}
+
+impl From<LowerError> for PredictError {
+    fn from(e: LowerError) -> Self {
+        PredictError::Lower(e)
+    }
+}
 
 /// Process-wide walk counters: how many Algorithm-1 walks ran and how many
 /// nodes they stepped. Accumulated locally per walk (one atomic add each),
@@ -161,6 +189,13 @@ impl E2ePredictor {
         &self.registry
     }
 
+    /// The overhead database this predictor reads — lets callers build a
+    /// sibling predictor (e.g. a degraded roofline twin on the same
+    /// device) from the same analysis products.
+    pub fn overheads(&self) -> &OverheadStats {
+        &self.overheads
+    }
+
     fn overhead(&self, op_key: &str, ty: OverheadType) -> f64 {
         match self.granularity {
             OverheadGranularity::PerOp => self.overheads.mean_us(op_key, ty),
@@ -210,6 +245,27 @@ impl E2ePredictor {
         self.predict_with_batch(graph, |specs| self.registry.predict_batch_memoized(cache, specs))
     }
 
+    /// Like [`E2ePredictor::predict_memoized`], but checking `token`
+    /// between op steps: a cancellation (deadline watchdog, shutdown) is
+    /// observed within one node's lowering or stepping and surfaces as
+    /// [`PredictError::Cancelled`]. A run that completes is bitwise
+    /// identical to the non-cancellable path — the checks read, never
+    /// write, the walk state.
+    ///
+    /// # Errors
+    /// [`PredictError::Lower`] on malformed graphs,
+    /// [`PredictError::Cancelled`] when the token fired first.
+    pub fn predict_memoized_cancellable(
+        &self,
+        graph: &Graph,
+        cache: &MemoCache,
+        token: &CancellationToken,
+    ) -> Result<Prediction, PredictError> {
+        self.predict_with_batch_inner(graph, Some(token), |specs| {
+            self.registry.predict_batch_memoized(cache, specs)
+        })
+    }
+
     /// Assembles the cost bundle of one node from its op key and the
     /// already-evaluated kernel times. Pure in `(op key, kernels)`: two
     /// structurally identical nodes get bitwise identical bundles, the
@@ -237,9 +293,25 @@ impl E2ePredictor {
         graph: &Graph,
         eval: impl FnOnce(&[KernelSpec]) -> Vec<(f64, Confidence)>,
     ) -> Result<Vec<NodeCosts>, LowerError> {
+        match self.node_costs_batch_inner(graph, None, eval) {
+            Ok(costs) => Ok(costs),
+            Err(PredictError::Lower(e)) => Err(e),
+            Err(PredictError::Cancelled) => unreachable!("no cancellation token supplied"),
+        }
+    }
+
+    fn node_costs_batch_inner(
+        &self,
+        graph: &Graph,
+        token: Option<&CancellationToken>,
+        eval: impl FnOnce(&[KernelSpec]) -> Vec<(f64, Confidence)>,
+    ) -> Result<Vec<NodeCosts>, PredictError> {
         let mut specs: Vec<KernelSpec> = Vec::new();
         let mut ranges: Vec<std::ops::Range<usize>> = Vec::with_capacity(graph.node_count());
         for node in graph.nodes() {
+            if token.is_some_and(|t| t.is_cancelled()) {
+                return Err(PredictError::Cancelled);
+            }
             let start = specs.len();
             specs.extend(lower::try_kernels(graph, node)?);
             ranges.push(start..specs.len());
@@ -265,10 +337,29 @@ impl E2ePredictor {
         graph: &Graph,
         eval: impl FnOnce(&[KernelSpec]) -> Vec<(f64, Confidence)>,
     ) -> Result<Prediction, LowerError> {
+        match self.predict_with_batch_inner(graph, None, eval) {
+            Ok(p) => Ok(p),
+            Err(PredictError::Lower(e)) => Err(e),
+            Err(PredictError::Cancelled) => unreachable!("no cancellation token supplied"),
+        }
+    }
+
+    /// The walk with an optional cancellation token checked once per node
+    /// in both phases, so a deadline expiring mid-walk is observed within
+    /// one op step.
+    fn predict_with_batch_inner(
+        &self,
+        graph: &Graph,
+        token: Option<&CancellationToken>,
+        eval: impl FnOnce(&[KernelSpec]) -> Vec<(f64, Confidence)>,
+    ) -> Result<Prediction, PredictError> {
         let _span = dlperf_obs::span("walk", dlperf_obs::SpanKind::Work);
-        let costs = self.node_costs_batch(graph, eval)?;
+        let costs = self.node_costs_batch_inner(graph, token, eval)?;
         let mut state = WalkState::new();
         for (node, c) in graph.nodes().iter().zip(&costs) {
+            if token.is_some_and(|t| t.is_cancelled()) {
+                return Err(PredictError::Cancelled);
+            }
             state.step(node, c, self.kernel_gap_us, self.launch_factor);
         }
         let counters = walk_counters();
@@ -541,6 +632,40 @@ mod tests {
         assert_ne!(per_op, coarse);
         // Both should still be the same order of magnitude.
         assert!((per_op / coarse - 1.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn cancellable_path_matches_plain_bitwise_and_observes_token() {
+        let (g, pred, _, _) = setup(256);
+        let cache = MemoCache::new();
+        let token = CancellationToken::new();
+        let plain = pred.predict_memoized(&g, &MemoCache::new()).unwrap();
+        let cancellable = pred.predict_memoized_cancellable(&g, &cache, &token).unwrap();
+        assert_eq!(plain.e2e_us.to_bits(), cancellable.e2e_us.to_bits());
+        assert_eq!(plain, cancellable);
+
+        token.cancel();
+        match pred.predict_memoized_cancellable(&g, &cache, &token) {
+            Err(PredictError::Cancelled) => {}
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn token_fired_mid_walk_is_observed_within_one_step() {
+        // Cancel from inside the kernel evaluator — i.e. after lowering,
+        // before the first clock step — and require the typed error: the
+        // stepping loop must notice the flag at its very next iteration.
+        let (g, pred, _, _) = setup(256);
+        let token = CancellationToken::new();
+        let result = pred.predict_with_batch_inner(&g, Some(&token), |specs| {
+            token.cancel();
+            pred.registry().predict_batch_with_confidence(specs)
+        });
+        match result {
+            Err(PredictError::Cancelled) => {}
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
     }
 
     #[test]

@@ -356,37 +356,256 @@ where
     out
 }
 
-/// Prepared graphs and incremental baselines persisted across runs of one
-/// engine, valid for a single base graph. The base is identified by its
-/// cached [`dlperf_graph::GraphIndex`] `Arc`: any structural mutation of
-/// the base drops that cache (see `Graph::index`), so a changed pointer
-/// means a changed base and clears the store. Holding the `Arc` keeps its
+/// Applies a mutation list to a base graph — a deterministic pure
+/// function of `(base, mutations)`, which is what makes sharing its
+/// output across scenarios (and across the serve/offline boundary)
+/// invisible to results.
+///
+/// # Errors
+/// A human-readable description of the first transform that failed.
+pub fn prepare_graph(base: &Graph, mutations: &[GraphMutation]) -> Result<Graph, String> {
+    let _span = dlperf_obs::span("sweep.prepare", dlperf_obs::SpanKind::Phase);
+    let mut g = base.clone();
+    for m in mutations {
+        let r = match m {
+            GraphMutation::ResizeBatch(b) => resize_batch(&mut g, *b).map(|_| ()),
+            GraphMutation::FuseEmbeddingBags => fuse_embedding_bags(&mut g).map(|_| ()),
+            GraphMutation::HoistAll => {
+                for i in 0..g.node_count() {
+                    let id = g.nodes()[i].id;
+                    let _ = hoist_earliest(&mut g, id);
+                }
+                Ok(())
+            }
+            GraphMutation::HoistNode(i) => {
+                if *i >= g.node_count() {
+                    Err(dlperf_graph::transform::TransformError::Precondition(format!(
+                        "node position {i} out of range ({} nodes)",
+                        g.node_count()
+                    )))
+                } else {
+                    let id = g.nodes()[*i].id;
+                    // An immovable node is a no-op, like HoistAll.
+                    let _ = hoist_earliest(&mut g, id);
+                    Ok(())
+                }
+            }
+            GraphMutation::ReplaceOp { node, op } => {
+                replace_op(&mut g, NodeId(*node), *op, format!("replaced:{op:?}"))
+            }
+        };
+        if let Err(e) = r {
+            return Err(format!("transform failed: {e}"));
+        }
+    }
+    Ok(g)
+}
+
+/// Point-in-time counters of a [`PreparedStore`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct PreparedStoreStats {
+    /// Prepared graphs currently stored.
+    pub graphs: usize,
+    /// Incremental baselines currently stored (at most one per device).
+    pub baselines: usize,
+    /// Lookups answered from the store.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Graphs dropped by the LRU-by-epoch capacity cap.
+    pub evictions: u64,
+}
+
+/// A prepared graph (or the preparation error) plus the epoch stamp of
+/// its last access.
+type StampedGraph = (Arc<Result<Graph, String>>, u64);
+
+#[derive(Debug, Default)]
+struct PreparedInner {
+    base: Option<Arc<dlperf_graph::GraphIndex>>,
+    /// Each prepared graph carries its last-access epoch stamp for LRU
+    /// eviction under the capacity cap.
+    graphs: HashMap<Vec<GraphMutation>, StampedGraph>,
+    baselines: HashMap<usize, Arc<IncrementalPredictor>>,
+    epoch: u64,
+}
+
+/// Prepared graphs and incremental baselines shared across runs — and,
+/// via `Arc`, across engines and server workers — valid for a single base
+/// graph. The base is identified by its cached
+/// [`dlperf_graph::GraphIndex`] `Arc`: any structural mutation of the
+/// base drops that cache (see `Graph::index`), so a changed pointer means
+/// a changed base and clears the store. Holding the `Arc` keeps its
 /// address from being reused by a later allocation. Everything stored is a
 /// deterministic pure function of `(base, mutations)` / `(pipeline, base)`,
 /// so reuse is invisible in results.
-#[derive(Debug, Default)]
-struct PreparedStore {
-    base: Option<Arc<dlperf_graph::GraphIndex>>,
-    graphs: HashMap<Vec<GraphMutation>, Arc<Result<Graph, String>>>,
-    baselines: HashMap<usize, Arc<IncrementalPredictor>>,
+///
+/// Like [`MemoCache`], the store can be capped
+/// ([`PreparedStore::with_capacity`]): once `capacity` graphs are held,
+/// inserting a new mutation list evicts the least-recently-accessed one.
+/// Baselines are not capped — there is at most one per device. Eviction
+/// changes only what gets re-prepared, never what a prepared graph
+/// contains.
+#[derive(Debug)]
+pub struct PreparedStore {
+    inner: Mutex<PreparedInner>,
+    capacity: Option<usize>,
+    obs: Arc<dlperf_obs::CounterGroup>,
+    hits: dlperf_obs::CounterHandle,
+    misses: dlperf_obs::CounterHandle,
+    evictions: dlperf_obs::CounterHandle,
+}
+
+impl Default for PreparedStore {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl PreparedStore {
-    /// Clears the store unless it was built for `base_index`'s graph.
-    fn rebase(&mut self, base_index: &Arc<dlperf_graph::GraphIndex>) {
-        if self.base.as_ref().is_none_or(|a| !Arc::ptr_eq(a, base_index)) {
-            self.base = Some(base_index.clone());
-            self.graphs.clear();
-            self.baselines.clear();
+    /// An empty, unbounded store.
+    pub fn new() -> Self {
+        Self::build(None)
+    }
+
+    /// An empty store holding at most `capacity` prepared graphs.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "prepared-store capacity must be positive");
+        Self::build(Some(capacity))
+    }
+
+    fn build(capacity: Option<usize>) -> Self {
+        let obs =
+            dlperf_obs::CounterGroup::register("core.prepared", &["hits", "misses", "evictions"]);
+        let hits = obs.handle("hits");
+        let misses = obs.handle("misses");
+        let evictions = obs.handle("evictions");
+        PreparedStore {
+            inner: Mutex::new(PreparedInner::default()),
+            capacity,
+            obs,
+            hits,
+            misses,
+            evictions,
         }
     }
+
+    /// The configured graph cap (`None` = unbounded).
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
+    /// This store's recorder counter group.
+    pub fn counters(&self) -> &Arc<dlperf_obs::CounterGroup> {
+        &self.obs
+    }
+
+    /// Clears the store unless it was built for `base_index`'s graph.
+    pub fn rebase(&self, base_index: &Arc<dlperf_graph::GraphIndex>) {
+        let mut inner = self.inner.lock().expect("prepared store poisoned");
+        if inner.base.as_ref().is_none_or(|a| !Arc::ptr_eq(a, base_index)) {
+            inner.base = Some(base_index.clone());
+            inner.graphs.clear();
+            inner.baselines.clear();
+        }
+    }
+
+    /// The prepared graph for `mutations`, refreshing its LRU stamp.
+    pub fn get(&self, mutations: &[GraphMutation]) -> Option<Arc<Result<Graph, String>>> {
+        let mut inner = self.inner.lock().expect("prepared store poisoned");
+        inner.epoch += 1;
+        let stamp = inner.epoch;
+        match inner.graphs.get_mut(mutations) {
+            Some(entry) => {
+                entry.1 = stamp;
+                self.hits.incr();
+                Some(entry.0.clone())
+            }
+            None => {
+                self.misses.incr();
+                None
+            }
+        }
+    }
+
+    /// Stores a prepared graph, evicting the least-recently-accessed one
+    /// first when a *new* mutation list would exceed the cap. Returns the
+    /// stored `Arc` (the existing one if another worker raced the insert —
+    /// both hold the identical pure-function result).
+    pub fn insert(
+        &self,
+        mutations: Vec<GraphMutation>,
+        graph: Arc<Result<Graph, String>>,
+    ) -> Arc<Result<Graph, String>> {
+        let mut inner = self.inner.lock().expect("prepared store poisoned");
+        inner.epoch += 1;
+        let stamp = inner.epoch;
+        if let Some(entry) = inner.graphs.get_mut(&mutations) {
+            entry.1 = stamp;
+            return entry.0.clone();
+        }
+        if self.capacity.is_some_and(|cap| inner.graphs.len() >= cap) {
+            if let Some(victim) =
+                inner.graphs.iter().min_by_key(|(_, &(_, e))| e).map(|(k, _)| k.clone())
+            {
+                inner.graphs.remove(&victim);
+                self.evictions.incr();
+            }
+        }
+        inner.graphs.insert(mutations, (graph.clone(), stamp));
+        graph
+    }
+
+    /// The incremental baseline checkpointed for `device`, if any.
+    pub fn baseline(&self, device: usize) -> Option<Arc<IncrementalPredictor>> {
+        self.inner.lock().expect("prepared store poisoned").baselines.get(&device).cloned()
+    }
+
+    /// Stores the incremental baseline for `device`.
+    pub fn insert_baseline(&self, device: usize, baseline: Arc<IncrementalPredictor>) {
+        self.inner
+            .lock()
+            .expect("prepared store poisoned")
+            .baselines
+            .insert(device, baseline);
+    }
+
+    /// Current counters and occupancy.
+    pub fn stats(&self) -> PreparedStoreStats {
+        let inner = self.inner.lock().expect("prepared store poisoned");
+        PreparedStoreStats {
+            graphs: inner.graphs.len(),
+            baselines: inner.baselines.len(),
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            evictions: self.evictions.get(),
+        }
+    }
+
+    /// Drops everything (base binding included) and zeroes the counters.
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock().expect("prepared store poisoned");
+        *inner = PreparedInner::default();
+        self.hits.reset();
+        self.misses.reset();
+        self.evictions.reset();
+    }
 }
+
+/// Default hard cap on each per-pipeline memo cache. Generous — a sweep
+/// over thousands of scenarios stays far below it — but it turns the
+/// engine's steady-state memory from "proportional to distinct queries
+/// ever seen" into a constant, which is what a long-lived service needs.
+pub const DEFAULT_MEMO_CAPACITY: usize = 1 << 20;
 
 /// The parallel what-if sweep engine. See the module docs.
 pub struct SweepEngine {
     pipelines: Vec<Pipeline>,
     caches: Vec<Arc<MemoCache>>,
-    prepared: Mutex<PreparedStore>,
+    prepared: Arc<PreparedStore>,
     threads: usize,
     use_cache: bool,
     use_incremental: bool,
@@ -397,24 +616,51 @@ pub struct SweepEngine {
 
 impl SweepEngine {
     /// Wraps calibrated pipelines (one per candidate device). Thread count
-    /// defaults to the machine's available parallelism; caching is on.
+    /// defaults to the machine's available parallelism; caching is on,
+    /// with each per-pipeline cache capped at [`DEFAULT_MEMO_CAPACITY`].
     ///
     /// # Panics
     /// Panics if `pipelines` is empty.
     pub fn new(pipelines: Vec<Pipeline>) -> Self {
         assert!(!pipelines.is_empty(), "sweep engine needs at least one pipeline");
-        let caches = pipelines.iter().map(|_| Arc::new(MemoCache::new())).collect();
+        let caches = pipelines
+            .iter()
+            .map(|_| Arc::new(MemoCache::with_capacity(DEFAULT_MEMO_CAPACITY)))
+            .collect();
         let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
         SweepEngine {
             pipelines,
             caches,
-            prepared: Mutex::new(PreparedStore::default()),
+            prepared: Arc::new(PreparedStore::new()),
             threads,
             use_cache: true,
             use_incremental: true,
             token: CancellationToken::new(),
             chunk: 16,
         }
+    }
+
+    /// Replaces the per-pipeline memo caches with capped ones (builder
+    /// style); see [`MemoCache::with_capacity`].
+    ///
+    /// # Panics
+    /// Panics if `capacity` is below the shard count (16).
+    pub fn with_memo_capacity(mut self, capacity: usize) -> Self {
+        self.caches =
+            self.pipelines.iter().map(|_| Arc::new(MemoCache::with_capacity(capacity))).collect();
+        self
+    }
+
+    /// Shares an externally owned prepared-graph store (builder style) —
+    /// e.g. one store serving both a sweep engine and a request server.
+    pub fn with_prepared_store(mut self, store: Arc<PreparedStore>) -> Self {
+        self.prepared = store;
+        self
+    }
+
+    /// The prepared-graph store this engine reads and fills.
+    pub fn prepared_store(&self) -> &Arc<PreparedStore> {
+        &self.prepared
     }
 
     /// Sets the worker-thread count (builder style). 1 = sequential.
@@ -494,49 +740,7 @@ impl SweepEngine {
         for c in &self.caches {
             c.clear();
         }
-        let mut store = self.prepared.lock().expect("prepared store poisoned");
-        *store = PreparedStore::default();
-    }
-
-    /// Applies a mutation list to the base graph — a deterministic pure
-    /// function of `(base, mutations)`, which is what makes sharing its
-    /// output across scenarios invisible to results.
-    fn prepare(&self, base: &Graph, mutations: &[GraphMutation]) -> Result<Graph, String> {
-        let _span = dlperf_obs::span("sweep.prepare", dlperf_obs::SpanKind::Phase);
-        let mut g = base.clone();
-        for m in mutations {
-            let r = match m {
-                GraphMutation::ResizeBatch(b) => resize_batch(&mut g, *b).map(|_| ()),
-                GraphMutation::FuseEmbeddingBags => fuse_embedding_bags(&mut g).map(|_| ()),
-                GraphMutation::HoistAll => {
-                    for i in 0..g.node_count() {
-                        let id = g.nodes()[i].id;
-                        let _ = hoist_earliest(&mut g, id);
-                    }
-                    Ok(())
-                }
-                GraphMutation::HoistNode(i) => {
-                    if *i >= g.node_count() {
-                        Err(dlperf_graph::transform::TransformError::Precondition(format!(
-                            "node position {i} out of range ({} nodes)",
-                            g.node_count()
-                        )))
-                    } else {
-                        let id = g.nodes()[*i].id;
-                        // An immovable node is a no-op, like HoistAll.
-                        let _ = hoist_earliest(&mut g, id);
-                        Ok(())
-                    }
-                }
-                GraphMutation::ReplaceOp { node, op } => {
-                    replace_op(&mut g, NodeId(*node), *op, format!("replaced:{op:?}"))
-                }
-            };
-            if let Err(e) = r {
-                return Err(format!("transform failed: {e}"));
-            }
-        }
-        Ok(g)
+        self.prepared.clear();
     }
 
     /// Prices one prepared graph on the scenario's pipeline, through the
@@ -611,7 +815,7 @@ impl SweepEngine {
     /// Prices one scenario end to end (transform + predict) — the shared
     /// pure function of the naive (cache-off) and supervised paths.
     fn eval(&self, base: &Graph, s: &Scenario) -> ScenarioResult {
-        self.price(s, &self.prepare(base, &s.mutations), None).0
+        self.price(s, &prepare_graph(base, &s.mutations), None).0
     }
 
     /// Runs the sweep on the configured thread count.
@@ -645,11 +849,9 @@ impl SweepEngine {
                 });
             }
             let base_index = base.index();
-            let stored: Vec<Option<Arc<Result<Graph, String>>>> = {
-                let mut store = self.prepared.lock().expect("prepared store poisoned");
-                store.rebase(&base_index);
-                unique.iter().map(|muts| store.graphs.get(*muts).cloned()).collect()
-            };
+            self.prepared.rebase(&base_index);
+            let stored: Vec<Option<Arc<Result<Graph, String>>>> =
+                unique.iter().map(|muts| self.prepared.get(muts)).collect();
             let missing: Vec<&[GraphMutation]> = unique
                 .iter()
                 .zip(&stored)
@@ -657,27 +859,25 @@ impl SweepEngine {
                 .map(|(m, _)| *m)
                 .collect();
             let fresh = par_map(threads, &self.token, &missing, |_, muts| {
-                Arc::new(self.prepare(base, muts))
+                Arc::new(prepare_graph(base, muts))
             });
             // A `None` prepared slot means cancellation hit phase 1; the
             // dependent scenarios stay unvisited (`None`), matching what a
-            // cancelled sequential run leaves behind.
+            // cancelled sequential run leaves behind. The `Arc` clones held
+            // here keep this run's graphs alive even if a capped store
+            // evicts them mid-run.
             let mut fresh_iter = fresh.into_iter();
-            let prepared: Vec<Option<Arc<Result<Graph, String>>>> = {
-                let mut store = self.prepared.lock().expect("prepared store poisoned");
-                unique
-                    .iter()
-                    .zip(stored)
-                    .map(|(muts, slot)| match slot {
-                        Some(g) => Some(g),
-                        None => {
-                            let g = fresh_iter.next().expect("one fresh slot per miss")?;
-                            store.graphs.insert(muts.to_vec(), g.clone());
-                            Some(g)
-                        }
-                    })
-                    .collect()
-            };
+            let prepared: Vec<Option<Arc<Result<Graph, String>>>> = unique
+                .iter()
+                .zip(stored)
+                .map(|(muts, slot)| match slot {
+                    Some(g) => Some(g),
+                    None => {
+                        let g = fresh_iter.next().expect("one fresh slot per miss")?;
+                        Some(self.prepared.insert(muts.to_vec(), g))
+                    }
+                })
+                .collect();
             // One checkpointed baseline walk per device the scenario list
             // references (reused across runs); pricing then recomputes only
             // each scenario's dirty frontier. Skipped when the incremental
@@ -691,10 +891,8 @@ impl SweepEngine {
                     {
                         return None;
                     }
-                    if let Some(b) =
-                        self.prepared.lock().expect("prepared store poisoned").baselines.get(&d)
-                    {
-                        return Some(b.clone());
+                    if let Some(b) = self.prepared.baseline(d) {
+                        return Some(b);
                     }
                     let b = IncrementalPredictor::with_cache(
                         self.pipelines[d].predictor().clone(),
@@ -703,11 +901,7 @@ impl SweepEngine {
                     )
                     .ok()
                     .map(Arc::new)?;
-                    self.prepared
-                        .lock()
-                        .expect("prepared store poisoned")
-                        .baselines
-                        .insert(d, b.clone());
+                    self.prepared.insert_baseline(d, b.clone());
                     Some(b)
                 })
                 .collect();

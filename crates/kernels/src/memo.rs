@@ -27,8 +27,20 @@
 //! One cache serves **one registry**: predictions depend on the device
 //! the registry was calibrated for, and the key does not include the
 //! device. The sweep engine therefore keeps one cache per pipeline.
+//!
+//! ## Bounded caches
+//!
+//! A long-lived service answering millions of *distinct* queries must not
+//! grow without bound, so the cache supports a hard capacity cap
+//! ([`MemoCache::with_capacity`]) with LRU-by-epoch eviction: every
+//! access stamps its entry from a global epoch counter, and inserting
+//! into a full shard evicts that shard's least-recently-stamped entry.
+//! Eviction changes *hit rates* only, never values — a re-miss recomputes
+//! the same pure function bit-for-bit — so the bitwise determinism
+//! contract is unaffected by capacity.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use dlperf_gpusim::{KernelFamily, KernelSpec, MemcpyKind};
@@ -134,6 +146,9 @@ pub struct MemoCacheStats {
     pub misses: u64,
     /// Distinct keys currently stored.
     pub entries: usize,
+    /// Entries dropped by the LRU-by-epoch capacity cap (0 on unbounded
+    /// caches).
+    pub evictions: u64,
 }
 
 impl MemoCacheStats {
@@ -153,6 +168,7 @@ impl MemoCacheStats {
             hits: a.hits + s.hits,
             misses: a.misses + s.misses,
             entries: a.entries + s.entries,
+            evictions: a.evictions + s.evictions,
         })
     }
 }
@@ -161,11 +177,12 @@ impl std::fmt::Display for MemoCacheStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} hits / {} misses ({:.1}% hit rate, {} entries)",
+            "{} hits / {} misses ({:.1}% hit rate, {} entries, {} evicted)",
             self.hits,
             self.misses,
             self.hit_rate() * 100.0,
-            self.entries
+            self.entries,
+            self.evictions
         )
     }
 }
@@ -178,16 +195,34 @@ impl std::fmt::Display for MemoCacheStats {
 /// the same key may both evaluate the model — both compute the identical
 /// pure-function result, so last-write-wins is benign and keeps the
 /// fast path lock-short.
+///
+/// Built unbounded by [`MemoCache::new`] or with a hard capacity cap by
+/// [`MemoCache::with_capacity`]; see the module docs for the eviction
+/// policy.
+/// A memoized evaluation plus the epoch stamp of its last access.
+type StampedEntry = ((f64, Confidence), u64);
+
 #[derive(Debug)]
 pub struct MemoCache {
-    shards: Vec<Mutex<HashMap<MemoKey, (f64, Confidence)>>>,
-    /// The hit/miss counts live in a `dlperf-obs` counter group (each
-    /// `obs::Counter` is cache-line padded), so recorder flushes export
-    /// them alongside every other subsystem's counters;
+    /// Each entry carries the value and its last-access epoch stamp.
+    shards: Vec<Mutex<HashMap<MemoKey, StampedEntry>>>,
+    /// Global access clock: every probe hit and every store draws a fresh
+    /// stamp, so per-shard minimum-stamp eviction is exactly LRU within
+    /// the shard. Relaxed ordering suffices — stamps only order accesses,
+    /// they guard nothing.
+    epoch: CachePadded<AtomicU64>,
+    /// Total entry cap (`None` = unbounded). Enforced per shard as
+    /// `capacity / SHARDS`, so the whole cache can never exceed the cap.
+    capacity: Option<usize>,
+    per_shard_cap: usize,
+    /// The hit/miss/eviction counts live in a `dlperf-obs` counter group
+    /// (each `obs::Counter` is cache-line padded), so recorder flushes
+    /// export them alongside every other subsystem's counters;
     /// [`MemoCacheStats`] is a point-in-time view over the same atomics.
     obs: Arc<CounterGroup>,
     hits: CounterHandle,
     misses: CounterHandle,
+    evictions: CounterHandle,
 }
 
 impl Default for MemoCache {
@@ -197,22 +232,72 @@ impl Default for MemoCache {
 }
 
 impl MemoCache {
-    /// An empty cache.
+    /// An empty, unbounded cache.
     pub fn new() -> Self {
-        let obs = CounterGroup::register("kernels.memo", &["hits", "misses"]);
+        Self::build(None)
+    }
+
+    /// An empty cache holding at most `capacity` entries, evicting
+    /// LRU-by-epoch once full. The cap is distributed across the shards
+    /// (`capacity / SHARDS` each), so total occupancy never exceeds
+    /// `capacity`.
+    ///
+    /// # Panics
+    /// Panics if `capacity < 16` (one entry per shard is the smallest
+    /// enforceable cap).
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity >= SHARDS, "memo capacity must be at least {SHARDS}");
+        Self::build(Some(capacity))
+    }
+
+    fn build(capacity: Option<usize>) -> Self {
+        let obs = CounterGroup::register("kernels.memo", &["hits", "misses", "evictions"]);
         let hits = obs.handle("hits");
         let misses = obs.handle("misses");
+        let evictions = obs.handle("evictions");
         MemoCache {
             shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            epoch: CachePadded(AtomicU64::new(0)),
+            capacity,
+            per_shard_cap: capacity.map_or(usize::MAX, |c| c / SHARDS),
             obs,
             hits,
             misses,
+            evictions,
         }
+    }
+
+    /// The configured entry cap (`None` = unbounded).
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
     }
 
     /// This cache's recorder counter group.
     pub fn counters(&self) -> &Arc<CounterGroup> {
         &self.obs
+    }
+
+    /// Looks up `key` without counting, refreshing its LRU stamp on a hit.
+    fn probe(&self, key: &MemoKey) -> Option<(f64, Confidence)> {
+        let mut shard = self.shards[key.shard()].lock().expect("memo shard poisoned");
+        let entry = shard.get_mut(key)?;
+        entry.1 = self.epoch.0.fetch_add(1, Ordering::Relaxed);
+        Some(entry.0)
+    }
+
+    /// Stores `key → value` without counting, evicting the shard's
+    /// least-recently-stamped entry first when a *new* key would push the
+    /// shard past its cap.
+    fn store(&self, key: MemoKey, value: (f64, Confidence)) {
+        let stamp = self.epoch.0.fetch_add(1, Ordering::Relaxed);
+        let mut shard = self.shards[key.shard()].lock().expect("memo shard poisoned");
+        if shard.len() >= self.per_shard_cap && !shard.contains_key(&key) {
+            if let Some(victim) = shard.iter().min_by_key(|(_, &(_, e))| e).map(|(k, _)| *k) {
+                shard.remove(&victim);
+                self.evictions.incr();
+            }
+        }
+        shard.insert(key, (value, stamp));
     }
 
     /// Looks up `key`, evaluating `compute` and storing its result on a
@@ -222,14 +307,13 @@ impl MemoCache {
         key: MemoKey,
         compute: impl FnOnce() -> (f64, Confidence),
     ) -> (f64, Confidence) {
-        let shard = &self.shards[key.shard()];
-        if let Some(&v) = shard.lock().expect("memo shard poisoned").get(&key) {
+        if let Some(v) = self.probe(&key) {
             self.hits.incr();
             return v;
         }
         let v = compute();
         self.misses.incr();
-        shard.lock().expect("memo shard poisoned").insert(key, v);
+        self.store(key, v);
         v
     }
 
@@ -243,6 +327,7 @@ impl MemoCache {
                 .iter()
                 .map(|s| s.lock().expect("memo shard poisoned").len())
                 .sum(),
+            evictions: self.evictions.get(),
         }
     }
 
@@ -253,6 +338,7 @@ impl MemoCache {
         }
         self.hits.reset();
         self.misses.reset();
+        self.evictions.reset();
     }
 }
 
@@ -293,8 +379,7 @@ impl ModelRegistry {
         let mut out: Vec<Option<(f64, Confidence)>> = Vec::with_capacity(kernels.len());
         let mut hits = 0u64;
         for key in &keys {
-            let shard = &cache.shards[key.shard()];
-            let probe = shard.lock().expect("memo shard poisoned").get(key).copied();
+            let probe = cache.probe(key);
             if probe.is_some() {
                 hits += 1;
             }
@@ -329,10 +414,7 @@ impl ModelRegistry {
                 miss_idx.iter().map(|&i| kernels[i].clone()).collect();
             let values = self.predict_batch_with_confidence(&specs);
             for (&i, v) in miss_idx.iter().zip(values) {
-                cache.shards[keys[i].shard()]
-                    .lock()
-                    .expect("memo shard poisoned")
-                    .insert(keys[i], v);
+                cache.store(keys[i], v);
                 out[i] = Some(v);
             }
             for i in dup_idx {
@@ -491,6 +573,85 @@ mod tests {
         assert_eq!(view, cache.stats());
         assert_eq!(cache.counters().value("hits"), view.hits);
         assert_eq!(cache.counters().value("misses"), view.misses);
+    }
+
+    #[test]
+    fn capped_cache_never_exceeds_capacity_and_counts_evictions() {
+        let cache = MemoCache::with_capacity(16); // one entry per shard
+        assert_eq!(cache.capacity(), Some(16));
+        for i in 0..500u64 {
+            cache.get_or_insert_with(MemoKey::of(&KernelSpec::gemm(8 + i, 8, 8)), || {
+                (i as f64, Confidence::Calibrated)
+            });
+            assert!(cache.stats().entries <= 16, "cap breached at insert {i}");
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 500);
+        assert!(stats.evictions > 0, "500 distinct keys into 16 slots must evict");
+        assert_eq!(
+            stats.entries as u64 + stats.evictions,
+            500,
+            "every miss either occupies a slot or displaced someone"
+        );
+        assert_eq!(cache.counters().value("evictions"), stats.evictions);
+    }
+
+    #[test]
+    fn evicted_key_recomputes_bitwise_identical() {
+        let reg = ModelRegistry::calibrate(&DeviceSpec::v100(), crate::CalibrationEffort::Quick, 3);
+        let cache = MemoCache::with_capacity(16);
+        let k = KernelSpec::gemm(512, 256, 128);
+        let first = reg.predict_memoized(&cache, &k);
+        // Flood with distinct keys until the original is evicted.
+        for i in 0..200u64 {
+            reg.predict_memoized(&cache, &KernelSpec::gemm(16 + i, 8, 8));
+        }
+        let again = reg.predict_memoized(&cache, &k);
+        assert_eq!(first.0.to_bits(), again.0.to_bits(), "re-miss must recompute same bits");
+        assert_eq!(first.1, again.1);
+    }
+
+    #[test]
+    fn touched_entry_survives_eviction_pressure() {
+        // Per-shard cap of 2: the hot key shares its shard with at most one
+        // churn key, and, being re-stamped every iteration, is never the
+        // LRU entry when the next churn insert needs a slot.
+        let cache = MemoCache::with_capacity(32);
+        let hot = MemoKey::of(&KernelSpec::gemm(1, 1, 1));
+        cache.get_or_insert_with(hot, || (42.0, Confidence::Calibrated));
+        // Keep the hot key recently stamped while churning others through.
+        for i in 0..300u64 {
+            cache.get_or_insert_with(MemoKey::of(&KernelSpec::gemm(8 + i, 8, 8)), || {
+                (0.0, Confidence::Calibrated)
+            });
+            let (v, _) = cache.get_or_insert_with(hot, || {
+                panic!("hot key evicted despite being the most recently used")
+            });
+            assert_eq!(v.to_bits(), 42.0f64.to_bits());
+        }
+    }
+
+    #[test]
+    fn batch_path_respects_capacity() {
+        let reg = ModelRegistry::calibrate(&DeviceSpec::v100(), crate::CalibrationEffort::Quick, 5);
+        let cache = MemoCache::with_capacity(16);
+        let batch: Vec<KernelSpec> = (0..100).map(|i| KernelSpec::gemm(8 + i, 8, 8)).collect();
+        let direct: Vec<u64> =
+            batch.iter().map(|k| reg.predict_with_confidence(k).0.to_bits()).collect();
+        let via: Vec<u64> = reg
+            .predict_batch_memoized(&cache, &batch)
+            .into_iter()
+            .map(|(t, _)| t.to_bits())
+            .collect();
+        assert_eq!(via, direct, "capacity pressure must not change values");
+        assert!(cache.stats().entries <= 16);
+        assert!(cache.stats().evictions > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "memo capacity must be at least")]
+    fn sub_shard_capacity_rejected() {
+        let _ = MemoCache::with_capacity(3);
     }
 
     #[test]

@@ -31,5 +31,6 @@ pub mod cv;
 pub mod dlrm;
 pub mod rm_zoo;
 pub mod transformer;
+pub mod zoo;
 
 pub use dlrm::DlrmConfig;

@@ -87,6 +87,27 @@ impl FileStore {
     pub fn path(&self) -> &Path {
         &self.path
     }
+
+    /// Loads the stored envelope and opens it in one step, verifying
+    /// schema, version, and checksum before touching the payload. A
+    /// missing file is `Ok(None)`; *any* corruption — truncation, bit
+    /// flips, a stray editor save — is a typed [`SnapshotError`], never a
+    /// panic, so a damaged checkpoint degrades to "start fresh or alert",
+    /// the caller's choice.
+    ///
+    /// # Errors
+    /// [`SnapshotError::Io`] when the file cannot be read; otherwise
+    /// whatever [`crate::snapshot::open`] diagnoses.
+    pub fn open_snapshot<T: serde::de::DeserializeOwned>(
+        &self,
+        schema: &str,
+        version: u32,
+    ) -> Result<Option<T>, SnapshotError> {
+        match self.load()? {
+            Some(sealed) => Ok(Some(crate::snapshot::open(schema, version, &sealed)?)),
+            None => Ok(None),
+        }
+    }
 }
 
 impl CheckpointStore for FileStore {
@@ -128,6 +149,47 @@ mod tests {
         assert_eq!(s.load().unwrap().as_deref(), Some("b"));
         s.clear().unwrap();
         assert!(s.load().unwrap().is_none());
+    }
+
+    #[test]
+    fn open_snapshot_round_trips_and_types_every_corruption() {
+        use crate::snapshot::seal;
+
+        let dir =
+            std::env::temp_dir().join(format!("dlperf-open-snap-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt.json");
+        let mut s = FileStore::new(&path);
+
+        // Missing file: clean None.
+        let none: Option<Vec<u64>> = s.open_snapshot("t.schema", 1).unwrap();
+        assert!(none.is_none());
+
+        // Intact envelope round-trips.
+        let payload: Vec<u64> = vec![1, 2, 3];
+        let sealed = seal("t.schema", 1, &payload).unwrap();
+        s.save(&sealed).unwrap();
+        let back: Option<Vec<u64>> = s.open_snapshot("t.schema", 1).unwrap();
+        assert_eq!(back.as_deref(), Some(&payload[..]));
+
+        // Truncated file: typed error, not a panic.
+        std::fs::write(&path, &sealed[..sealed.len() / 2]).unwrap();
+        let err = s.open_snapshot::<Vec<u64>>("t.schema", 1).unwrap_err();
+        assert!(matches!(err, SnapshotError::Parse(_)), "got {err:?}");
+
+        // Bit-flipped payload byte: the checksum catches it.
+        let mut bytes = sealed.clone().into_bytes();
+        let flip = sealed.rfind("payload").unwrap() + 12;
+        bytes[flip] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        match s.open_snapshot::<Vec<u64>>("t.schema", 1) {
+            Ok(_) => panic!("corruption must not open cleanly"),
+            Err(e) => {
+                let _ = e.to_string(); // typed and printable
+            }
+        }
+
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -1,0 +1,423 @@
+//! # dlperf-serve
+//!
+//! Overload-safe prediction-as-a-service over the dlperf pipeline: the
+//! performance model, turned into a long-running daemon that answers
+//! "price this configuration" and "which configuration should I train
+//! on?" questions while staying up under overload, hostile input, and
+//! injected worker chaos.
+//!
+//! The serving stack, outside in:
+//!
+//! * [`api`] — newline-delimited JSON wire protocol with typed error
+//!   bodies (`400/404/429/504/500`) and a hostile-input prescreen;
+//! * [`Server`] — admission control with explicit load shedding, deadline
+//!   propagation into the prediction walk, a circuit breaker that
+//!   degrades to roofline answers, per-request panic isolation, and
+//!   worker self-healing;
+//! * [`recommend`] (served as `Op::Recommend`) — the objective-driven
+//!   configuration recommender.
+//!
+//! Answers for admitted full-fidelity requests are bitwise identical to
+//! the offline [`dlperf_core::pipeline::Pipeline::predict_memoized`] path:
+//! every robustness mechanism changes *whether* a request is answered,
+//! never *what* an answered request says.
+
+pub mod api;
+mod recommend;
+mod server;
+
+pub use api::{
+    Body, ConfigChoice, ErrorBody, ErrorCode, Objective, Op, PredictQuery, PredictionBody,
+    RecommendQuery, RecommendationBody, RejectedConfig, Request, Response, StatsBody,
+};
+pub use server::{Server, ServerConfig};
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    use dlperf_core::pipeline::Pipeline;
+    use dlperf_core::{prepare_graph, GraphMutation};
+    use dlperf_faults::FaultPlan;
+    use dlperf_gpusim::DeviceSpec;
+    use dlperf_kernels::{CalibrationEffort, MemoCache};
+    use dlperf_models::zoo;
+
+    use super::*;
+
+    fn quick_pipeline() -> Pipeline {
+        let workloads = vec![zoo::build("dlrm-default", 512).unwrap()];
+        Pipeline::analyze(&DeviceSpec::v100(), &workloads, CalibrationEffort::Quick, 5, 11)
+    }
+
+    fn small_config() -> ServerConfig {
+        ServerConfig {
+            workers: 2,
+            base_batch: 512,
+            memo_capacity: 1 << 14,
+            prepared_capacity: 32,
+            ..ServerConfig::default()
+        }
+    }
+
+    fn predict_req(id: u64, batch: u64) -> Request {
+        Request {
+            id,
+            op: Op::Predict(PredictQuery {
+                model: "dlrm-default".into(),
+                batch,
+                device: "v100".into(),
+                deadline_ms: None,
+            }),
+        }
+    }
+
+    #[test]
+    fn predict_matches_offline_pipeline_bitwise() {
+        let pipeline = quick_pipeline();
+        let base = zoo::build("dlrm-default", 512).unwrap();
+        let offline_graph =
+            prepare_graph(&base, &[GraphMutation::ResizeBatch(768)]).unwrap();
+        let offline =
+            pipeline.predict_memoized(&offline_graph, &MemoCache::new()).unwrap();
+
+        let server =
+            Server::start(vec![pipeline], &["dlrm-default"], small_config(), None).unwrap();
+        for _ in 0..2 {
+            // Second round hits both caches; the bits must not move.
+            let resp = server.submit(predict_req(1, 768));
+            match resp.body {
+                Body::Prediction(p) => {
+                    assert_eq!(p.e2e_us.to_bits(), offline.e2e_us.to_bits());
+                    assert_eq!(p.active_us.to_bits(), offline.active_us.to_bits());
+                    assert_eq!(p.confidence, "calibrated");
+                }
+                other => panic!("expected prediction, got {other:?}"),
+            }
+        }
+        let stats = server.stats();
+        assert_eq!(stats.admitted, 2);
+        assert_eq!(stats.completed, 2);
+    }
+
+    #[test]
+    fn unknown_names_and_bad_batches_get_typed_errors() {
+        let server =
+            Server::start(vec![quick_pipeline()], &["dlrm-default"], small_config(), None)
+                .unwrap();
+        let cases = [
+            (
+                Request {
+                    id: 1,
+                    op: Op::Predict(PredictQuery {
+                        model: "alexnet".into(),
+                        batch: 64,
+                        device: "v100".into(),
+                        deadline_ms: None,
+                    }),
+                },
+                404,
+            ),
+            (
+                Request {
+                    id: 2,
+                    op: Op::Predict(PredictQuery {
+                        model: "dlrm-default".into(),
+                        batch: 64,
+                        device: "h100".into(),
+                        deadline_ms: None,
+                    }),
+                },
+                404,
+            ),
+            (predict_req(3, 0), 400),
+        ];
+        for (req, code) in cases {
+            let id = req.id;
+            let resp = server.submit(req);
+            assert_eq!(resp.id, id);
+            match resp.body {
+                Body::Error(e) => assert_eq!(e.code, code),
+                other => panic!("expected error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn malformed_json_is_rejected_not_parsed() {
+        let server =
+            Server::start(vec![quick_pipeline()], &["dlrm-default"], small_config(), None)
+                .unwrap();
+        for hostile in [
+            "",
+            "not json at all",
+            "{\"id\": ",
+            &"[".repeat(api::MAX_JSON_DEPTH * 4),
+            &"x".repeat(api::MAX_LINE_BYTES + 16),
+            "{\"id\": 1, \"op\": {\"Launch\": {}}}",
+        ] {
+            let line = server.submit_json(hostile);
+            let resp: Response = serde_json::from_str(&line).unwrap();
+            match resp.body {
+                Body::Error(e) => assert_eq!(e.code, 400, "input {:?}", &hostile[..hostile.len().min(40)]),
+                other => panic!("expected 400, got {other:?}"),
+            }
+        }
+        // And a valid line still works afterwards.
+        let line = server.submit_json("{\"id\": 9, \"op\": \"Ping\"}");
+        let resp: Response = serde_json::from_str(&line).unwrap();
+        assert!(matches!(resp.body, Body::Pong), "got {resp:?}");
+    }
+
+    #[test]
+    fn zero_capacity_queue_sheds_deterministically() {
+        let cfg = ServerConfig { queue_capacity: 0, ..small_config() };
+        let server =
+            Server::start(vec![quick_pipeline()], &["dlrm-default"], cfg, None).unwrap();
+        let resp = server.submit(predict_req(1, 512));
+        match resp.body {
+            Body::Error(e) => {
+                assert_eq!(e.code, 429);
+                assert_eq!(e.kind, "shed");
+            }
+            other => panic!("expected shed, got {other:?}"),
+        }
+        assert_eq!(server.stats().shed_queue, 1);
+        assert_eq!(server.stats().admitted, 0);
+    }
+
+    #[test]
+    fn injected_hang_becomes_deadline_error_within_budget() {
+        let plan = FaultPlan::healthy(77).with_worker_faults(0.0, 0.0, 1.0);
+        let server = Server::start(
+            vec![quick_pipeline()],
+            &["dlrm-default"],
+            small_config(),
+            Some(plan),
+        )
+        .unwrap();
+        let started = Instant::now();
+        let resp = server.submit(Request {
+            id: 5,
+            op: Op::Predict(PredictQuery {
+                model: "dlrm-default".into(),
+                batch: 512,
+                device: "v100".into(),
+                deadline_ms: Some(80.0),
+            }),
+        });
+        let wall = started.elapsed();
+        match resp.body {
+            Body::Error(e) => {
+                assert_eq!(e.code, 504);
+                assert_eq!(e.kind, "deadline");
+            }
+            other => panic!("expected deadline error, got {other:?}"),
+        }
+        assert!(wall < Duration::from_secs(5), "hang not bounded: {wall:?}");
+        assert!(server.stats().deadline_expired >= 1);
+    }
+
+    #[test]
+    fn injected_kill_respawns_the_worker_pool() {
+        let plan = FaultPlan::healthy(3).with_worker_faults(0.0, 1.0, 0.0);
+        let cfg = ServerConfig { workers: 1, ..small_config() };
+        let server =
+            Server::start(vec![quick_pipeline()], &["dlrm-default"], cfg, Some(plan)).unwrap();
+        // Every predict kills the (sole) worker; the pool must heal each
+        // time and keep answering.
+        for id in 0..3 {
+            let resp = server.submit(predict_req(id, 512));
+            match resp.body {
+                Body::Error(e) => {
+                    assert_eq!(e.code, 500);
+                    assert!(e.message.contains("killed"), "{}", e.message);
+                }
+                other => panic!("expected kill error, got {other:?}"),
+            }
+        }
+        let resp = server.submit(Request { id: 99, op: Op::Ping });
+        assert!(matches!(resp.body, Body::Pong));
+    }
+
+    #[test]
+    fn breaker_trips_to_degraded_answers_and_recovers() {
+        let plan = FaultPlan::healthy(13).with_worker_faults(1.0, 0.0, 0.0);
+        let cfg = ServerConfig {
+            workers: 1,
+            breaker_threshold: 2,
+            breaker_cooldown: 3,
+            ..small_config()
+        };
+        let server =
+            Server::start(vec![quick_pipeline()], &["dlrm-default"], cfg, Some(plan)).unwrap();
+
+        // Two injected panics trip the breaker...
+        for id in 0..2 {
+            let resp = server.submit(predict_req(id, 512));
+            match resp.body {
+                Body::Error(e) => {
+                    assert_eq!(e.code, 500);
+                    assert!(e.message.contains("panic"), "{}", e.message);
+                }
+                other => panic!("expected panic error, got {other:?}"),
+            }
+        }
+        let stats = server.stats();
+        assert_eq!(stats.panics, 2);
+        assert_eq!(stats.breaker_trips, 1);
+        assert_eq!(stats.breaker, "open");
+
+        // ...after which the cooldown serves degraded roofline answers
+        // (no injection on the degraded path, so these always succeed).
+        for id in 10..13 {
+            let resp = server.submit(predict_req(id, 512));
+            match resp.body {
+                Body::Prediction(p) => {
+                    assert_eq!(p.confidence, "degraded");
+                    assert!(p.degraded_kernels > 0);
+                    assert!(p.e2e_us > 0.0);
+                }
+                other => panic!("expected degraded prediction, got {other:?}"),
+            }
+        }
+        assert_eq!(server.stats().degraded_answers, 3);
+
+        // Cooldown exhausted: the half-open probe takes the full path,
+        // panics again (injection probability 1.0), and re-trips.
+        let resp = server.submit(predict_req(20, 512));
+        assert!(matches!(resp.body, Body::Error(_)));
+        assert_eq!(server.stats().breaker_trips, 2);
+    }
+
+    #[test]
+    fn recommend_ranks_by_objective_and_explains_rejections() {
+        let pipeline = quick_pipeline();
+        let server = Server::start(
+            vec![pipeline],
+            &["dlrm-default"],
+            small_config(),
+            None,
+        )
+        .unwrap();
+        let resp = server.submit(Request {
+            id: 42,
+            op: Op::Recommend(RecommendQuery {
+                model: "dlrm-default".into(),
+                batches: vec![256, 1024],
+                devices: vec![],
+                max_latency_ms: None,
+                world_sizes: vec![],
+                objective: Objective::Latency,
+                deadline_ms: Some(60_000.0),
+            }),
+        });
+        let rec = match resp.body {
+            Body::Recommendation(r) => r,
+            other => panic!("expected recommendation, got {other:?}"),
+        };
+        assert_eq!(rec.ranked.len(), 2);
+        let best = rec.recommended.as_ref().unwrap();
+        assert_eq!(best.e2e_us.to_bits(), rec.ranked[0].e2e_us.to_bits());
+        assert!(rec.ranked[0].e2e_us <= rec.ranked[1].e2e_us);
+        assert!(best.reasoning.contains("rank 1"), "{}", best.reasoning);
+
+        // A bound below the best candidate rejects everything, with
+        // reasons.
+        let floor_ms = rec.ranked[0].e2e_us / 1000.0;
+        let resp = server.submit(Request {
+            id: 43,
+            op: Op::Recommend(RecommendQuery {
+                model: "dlrm-default".into(),
+                batches: vec![256, 1024],
+                devices: vec!["v100".into()],
+                max_latency_ms: Some(floor_ms / 100.0),
+                world_sizes: vec![],
+                objective: Objective::Throughput,
+                deadline_ms: Some(60_000.0),
+            }),
+        });
+        match resp.body {
+            Body::Recommendation(r) => {
+                assert!(r.recommended.is_none());
+                assert_eq!(r.rejected.len(), 2);
+                assert!(r.rejected[0].reason.contains("exceeds"), "{}", r.rejected[0].reason);
+            }
+            other => panic!("expected recommendation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn recommend_covers_the_sharding_axis_for_dlrm() {
+        let server = Server::start(
+            vec![quick_pipeline()],
+            &["dlrm-default"],
+            small_config(),
+            None,
+        )
+        .unwrap();
+        let resp = server.submit(Request {
+            id: 50,
+            op: Op::Recommend(RecommendQuery {
+                model: "dlrm-default".into(),
+                batches: vec![512],
+                devices: vec!["v100".into()],
+                max_latency_ms: None,
+                world_sizes: vec![2],
+                objective: Objective::Latency,
+                deadline_ms: Some(120_000.0),
+            }),
+        });
+        match resp.body {
+            Body::Recommendation(r) => {
+                assert!(
+                    r.ranked.iter().any(|c| c.sharding.is_some()),
+                    "expected sharded candidates, got {:?}",
+                    r.ranked.iter().map(|c| &c.reasoning).collect::<Vec<_>>()
+                );
+                assert!(r.ranked.iter().any(|c| c.sharding.is_none()));
+            }
+            other => panic!("expected recommendation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn concurrent_submitters_share_bounded_caches() {
+        let cfg = ServerConfig {
+            workers: 4,
+            memo_capacity: 1 << 14,
+            prepared_capacity: 8,
+            base_batch: 512,
+            ..ServerConfig::default()
+        };
+        let server = Arc::new(
+            Server::start(vec![quick_pipeline()], &["dlrm-default"], cfg, None).unwrap(),
+        );
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let server = Arc::clone(&server);
+                std::thread::spawn(move || {
+                    for i in 0..12u64 {
+                        // 16 distinct batches churn the 8-entry prepared
+                        // store.
+                        let batch = 256 + 32 * ((t * 12 + i) % 16);
+                        let resp = server.submit(predict_req(t * 100 + i, batch));
+                        assert!(
+                            matches!(resp.body, Body::Prediction(_)),
+                            "got {resp:?}"
+                        );
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let stats = server.stats();
+        assert_eq!(stats.completed, 48);
+        assert!(stats.prepared_entries <= 8, "prepared over cap: {stats:?}");
+        assert!(stats.prepared_evictions > 0, "churn must evict: {stats:?}");
+    }
+}

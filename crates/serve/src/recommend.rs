@@ -1,0 +1,232 @@
+//! The objective-driven configuration recommender.
+//!
+//! Turns a device catalog plus latency/memory bounds into a ranked list of
+//! `(device, batch, sharding)` configurations, each with a reasoning
+//! string saying *why* it ranks where it does and each rejection saying
+//! *why not*. Prices come from the same bounded caches and cancellable
+//! walks as `Op::Predict`, so a recommendation is exactly as deterministic
+//! as the predictions it is built from.
+
+use dlperf_core::predictor::PredictError;
+use dlperf_distrib::{enumerate_plans, sweep_shardings, DistributedPredictor};
+use dlperf_graph::memory;
+use dlperf_models::zoo;
+use dlperf_runtime::CancellationToken;
+
+use crate::api::{
+    Body, ConfigChoice, ErrorCode, Objective, RecommendQuery, RecommendationBody, RejectedConfig,
+};
+use crate::server::Shared;
+
+/// Default batch ladder when the query names none.
+const DEFAULT_BATCHES: [u64; 5] = [256, 512, 1024, 2048, 4096];
+
+/// Runs one recommendation query. Always returns a body: a
+/// [`RecommendationBody`] on success, a typed error for unknown names or
+/// an expired deadline.
+pub(crate) fn run(shared: &Shared, q: &RecommendQuery, token: &CancellationToken) -> Body {
+    let Some(entry) = shared.models.get(&q.model) else {
+        return Body::error(ErrorCode::NotFound, format!("unknown model `{}`", q.model));
+    };
+    let device_names: Vec<String> = if q.devices.is_empty() {
+        let mut names: Vec<String> = shared.engines.keys().cloned().collect();
+        names.sort();
+        names
+    } else {
+        let mut names = Vec::new();
+        for d in &q.devices {
+            match shared.engine(d) {
+                Some(e) => names.push(e.pipeline.device().name.clone()),
+                None => {
+                    return Body::error(ErrorCode::NotFound, format!("unknown device `{d}`"));
+                }
+            }
+        }
+        names.dedup();
+        names
+    };
+    let batches: &[u64] = if q.batches.is_empty() { &DEFAULT_BATCHES } else { &q.batches };
+
+    let mut ranked: Vec<ConfigChoice> = Vec::new();
+    let mut rejected: Vec<RejectedConfig> = Vec::new();
+
+    for device_name in &device_names {
+        let engine = shared.engine(device_name).expect("resolved above");
+        let device = engine.pipeline.device().clone();
+        for &batch in batches {
+            if token.is_cancelled() {
+                return Body::error(ErrorCode::DeadlineExceeded, "deadline expired mid-search");
+            }
+            if batch == 0 || batch > (1 << 24) {
+                rejected.push(RejectedConfig {
+                    device: device_name.clone(),
+                    batch,
+                    reason: "batch out of range [1, 2^24]".into(),
+                });
+                continue;
+            }
+            let graph = entry.graph(batch);
+            let g = match graph.as_ref() {
+                Ok(g) => g,
+                Err(e) => {
+                    rejected.push(RejectedConfig {
+                        device: device_name.clone(),
+                        batch,
+                        reason: format!("graph preparation failed: {e}"),
+                    });
+                    continue;
+                }
+            };
+            let report = memory::estimate(g);
+            if !report.fits(device.memory_bytes, 0.1) {
+                rejected.push(RejectedConfig {
+                    device: device_name.clone(),
+                    batch,
+                    reason: format!(
+                        "needs {:.1} GiB, device has {:.1} GiB (10% reserved)",
+                        report.peak_bytes() as f64 / (1u64 << 30) as f64,
+                        device.memory_bytes as f64 / (1u64 << 30) as f64
+                    ),
+                });
+                continue;
+            }
+            match engine.pipeline.predict_memoized_cancellable(g, &engine.cache, token) {
+                Ok(p) => {
+                    push_candidate(
+                        &mut ranked,
+                        &mut rejected,
+                        q,
+                        device_name,
+                        batch,
+                        None,
+                        p.e2e_us,
+                    );
+                }
+                Err(PredictError::Cancelled) => {
+                    return Body::error(
+                        ErrorCode::DeadlineExceeded,
+                        "deadline expired mid-search",
+                    );
+                }
+                Err(PredictError::Lower(e)) => {
+                    rejected.push(RejectedConfig {
+                        device: device_name.clone(),
+                        batch,
+                        reason: format!("lowering failed: {e}"),
+                    });
+                }
+            }
+
+            // The multi-GPU axis, for DLRM models when world sizes were
+            // asked for.
+            if !q.world_sizes.is_empty() {
+                if let Some(config) = zoo::dlrm_config(&q.model, batch) {
+                    let predictor = DistributedPredictor::new(
+                        engine.pipeline.predictor().clone(),
+                        device.clone(),
+                    );
+                    let scenarios =
+                        enumerate_plans(config.rows_per_table.len(), &q.world_sizes);
+                    let outcome =
+                        sweep_shardings(&predictor, &config, &scenarios, 1, token);
+                    if token.is_cancelled() {
+                        return Body::error(
+                            ErrorCode::DeadlineExceeded,
+                            "deadline expired mid-search",
+                        );
+                    }
+                    for result in outcome.results.iter().flatten() {
+                        match (&result.prediction, &result.error) {
+                            (Some(p), _) => push_candidate(
+                                &mut ranked,
+                                &mut rejected,
+                                q,
+                                device_name,
+                                batch,
+                                Some(result.label.clone()),
+                                p.e2e_us,
+                            ),
+                            (None, Some(e)) => rejected.push(RejectedConfig {
+                                device: device_name.clone(),
+                                batch,
+                                reason: format!("sharding {}: {e}", result.label),
+                            }),
+                            (None, None) => {}
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    sort_ranked(&mut ranked, q.objective);
+    for (position, choice) in ranked.iter_mut().enumerate() {
+        choice.reasoning = format!("rank {}: {}", position + 1, choice.reasoning);
+    }
+    let recommended = ranked.first().cloned();
+    Body::Recommendation(RecommendationBody { recommended, ranked, rejected })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn push_candidate(
+    ranked: &mut Vec<ConfigChoice>,
+    rejected: &mut Vec<RejectedConfig>,
+    q: &RecommendQuery,
+    device: &str,
+    batch: u64,
+    sharding: Option<String>,
+    e2e_us: f64,
+) {
+    let latency_ms = e2e_us / 1000.0;
+    let samples_per_sec = if e2e_us > 0.0 { batch as f64 * 1e6 / e2e_us } else { 0.0 };
+    let config_label = match &sharding {
+        Some(s) => format!("batch {batch} on {device} sharded {s}"),
+        None => format!("batch {batch} on {device}"),
+    };
+    if let Some(bound) = q.max_latency_ms {
+        if latency_ms > bound {
+            rejected.push(RejectedConfig {
+                device: device.to_string(),
+                batch,
+                reason: format!(
+                    "{config_label}: predicted {latency_ms:.2} ms exceeds the {bound:.2} ms bound"
+                ),
+            });
+            return;
+        }
+    }
+    let bound_note = match q.max_latency_ms {
+        Some(bound) => format!(", within the {bound:.2} ms bound"),
+        None => String::new(),
+    };
+    ranked.push(ConfigChoice {
+        device: device.to_string(),
+        batch,
+        sharding,
+        e2e_us,
+        samples_per_sec,
+        reasoning: format!(
+            "{config_label} predicts {latency_ms:.2} ms/batch ({samples_per_sec:.0} samples/s){bound_note}"
+        ),
+    });
+}
+
+/// Deterministic objective ordering with a stable `(device, batch,
+/// sharding)` tie-break, so equal predictions rank identically run-to-run.
+fn sort_ranked(ranked: &mut [ConfigChoice], objective: Objective) {
+    ranked.sort_by(|a, b| {
+        let primary = match objective {
+            Objective::Latency => {
+                a.e2e_us.partial_cmp(&b.e2e_us).unwrap_or(std::cmp::Ordering::Equal)
+            }
+            Objective::Throughput => b
+                .samples_per_sec
+                .partial_cmp(&a.samples_per_sec)
+                .unwrap_or(std::cmp::Ordering::Equal),
+        };
+        primary
+            .then_with(|| a.device.cmp(&b.device))
+            .then_with(|| a.batch.cmp(&b.batch))
+            .then_with(|| a.sharding.cmp(&b.sharding))
+    });
+}

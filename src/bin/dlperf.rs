@@ -21,8 +21,6 @@ use dlrm_perf_model::gpusim::DeviceSpec;
 use dlrm_perf_model::graph::{memory, Graph};
 use dlrm_perf_model::kernels::{CalibrationEffort, ModelRegistry, RegistryBundle};
 use dlrm_perf_model::models::criteo::KAGGLE_TABLE_ROWS;
-use dlrm_perf_model::models::transformer::TransformerConfig;
-use dlrm_perf_model::models::{cv, DlrmConfig};
 use dlrm_perf_model::trace::breakdown::DeviceBreakdown;
 use dlrm_perf_model::trace::engine::ExecutionEngine;
 
@@ -71,23 +69,7 @@ impl Opts {
 }
 
 fn build_model(name: &str, batch: u64) -> Result<Graph, String> {
-    use dlrm_perf_model::models::rm_zoo::{dcn, wide_deep, RmConfig};
-    Ok(match name {
-        "dlrm-default" => DlrmConfig::default_config(batch).build(),
-        "dlrm-mlperf" => DlrmConfig::mlperf_config(batch).build(),
-        "dlrm-ddp" => DlrmConfig::ddp_config(batch).build(),
-        "dlrm-default-infer" => DlrmConfig::default_config(batch).build_inference(),
-        "dcn" => dcn(&RmConfig::ctr_default(batch)),
-        "wide-deep" => wide_deep(&RmConfig::ctr_default(batch)),
-        "resnet50" => cv::resnet50(batch),
-        "inception" => cv::inception_v3(batch),
-        "transformer" => TransformerConfig::base(batch).build(),
-        other => {
-            return Err(format!(
-                "unknown model `{other}` (expected dlrm-default|dlrm-mlperf|dlrm-ddp|dlrm-default-infer|dcn|wide-deep|resnet50|inception|transformer)"
-            ))
-        }
-    })
+    dlrm_perf_model::models::zoo::build(name, batch)
 }
 
 fn registry_for(opts: &Opts, device: &DeviceSpec) -> Result<ModelRegistry, String> {

@@ -25,6 +25,7 @@
 //! | [`distrib`] | multi-GPU hybrid-parallel DLRM: collectives, lockstep cluster engine, distributed predictor |
 //! | [`faults`] | deterministic fault injection (stragglers, thermal throttling, flaky collectives, worker kill/panic/hang) and the graceful-degradation contracts |
 //! | [`runtime`] | supervised runtime: checkpoint/resume jobs, deadlines, panic-isolated workers with restart budgets |
+//! | [`serve`] | prediction-as-a-service: admission control, deadlines, load shedding, circuit breaking, bounded caches, the configuration recommender |
 //!
 //! ## Quickstart
 //!
@@ -54,4 +55,5 @@ pub use dlperf_kernels as kernels;
 pub use dlperf_models as models;
 pub use dlperf_nn as nn;
 pub use dlperf_runtime as runtime;
+pub use dlperf_serve as serve;
 pub use dlperf_trace as trace;

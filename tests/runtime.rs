@@ -22,8 +22,8 @@ use dlperf_kernels::microbench::{gemm_specs, MicrobenchHarness};
 use dlperf_nn::gridsearch::{grid_search_supervised, GridSearchJob, SearchSpace};
 use dlperf_nn::Dataset;
 use dlperf_runtime::{
-    FileStore, JobContext, JobError, ResumableJob, StepOutcome, Supervisor, SupervisorConfig,
-    SupervisorError,
+    open, seal, FileStore, JobContext, JobError, ResumableJob, SnapshotError, StepOutcome,
+    Supervisor, SupervisorConfig, SupervisorError,
 };
 use proptest::prelude::*;
 
@@ -163,6 +163,58 @@ proptest! {
         prop_assert_eq!(report.attempts, 2);
         prop_assert_eq!(report.restarts.len(), 1);
         prop_assert_eq!(report.restarts[0].at_step, kill_step);
+    }
+
+    /// Corrupting a sealed checkpoint envelope — byte flips, truncation,
+    /// or both — always yields either the original payload (when the
+    /// mutations cancel out) or a typed [`SnapshotError`]; never a panic.
+    /// This is the contract [`FileStore::open_snapshot`] builds on: a
+    /// damaged checkpoint file degrades to "start fresh", not a crash.
+    #[test]
+    fn corrupted_envelope_always_types_never_panics(
+        seed in 0u64..u64::MAX,
+        flips in 1usize..8,
+    ) {
+        let truncate = seed & 1 == 0;
+        let payload: Vec<u64> = vec![3, 1, 4, 1, 5, 9, 2, 6];
+        let sealed = seal("t.chaos", 3, &payload).expect("seal");
+        let mut bytes = sealed.clone().into_bytes();
+
+        // Deterministic xorshift stream from the proptest-chosen seed.
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        if truncate {
+            bytes.truncate((next() as usize) % bytes.len());
+        }
+        for _ in 0..flips {
+            if bytes.is_empty() {
+                break;
+            }
+            let pos = (next() as usize) % bytes.len();
+            bytes[pos] ^= (next() % 255) as u8 + 1;
+        }
+
+        let mangled = String::from_utf8_lossy(&bytes).into_owned();
+        match open::<Vec<u64>>("t.chaos", 3, &mangled) {
+            // Lossy re-encoding can normalise a flip away; opening cleanly
+            // is only acceptable if the payload survived bit-for-bit.
+            Ok(back) => prop_assert_eq!(back, payload),
+            Err(e) => {
+                prop_assert!(matches!(
+                    e,
+                    SnapshotError::Parse(_)
+                        | SnapshotError::SchemaMismatch { .. }
+                        | SnapshotError::VersionMismatch { .. }
+                        | SnapshotError::ChecksumMismatch { .. }
+                ), "unexpected variant: {}", e);
+                prop_assert!(!e.to_string().is_empty());
+            }
+        }
     }
 
     /// Same property for the chunked microbenchmark sweep.
