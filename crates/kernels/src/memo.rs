@@ -34,12 +34,13 @@
 //! grow without bound, so the cache supports a hard capacity cap
 //! ([`MemoCache::with_capacity`]) with LRU-by-epoch eviction: every
 //! access stamps its entry from a global epoch counter, and inserting
-//! into a full shard evicts that shard's least-recently-stamped entry.
+//! into a full shard evicts that shard's least-recently-stamped entry
+//! (found in O(log n) via a per-shard recency index, never by scanning).
 //! Eviction changes *hit rates* only, never values — a re-miss recomputes
 //! the same pure function bit-for-bit — so the bitwise determinism
 //! contract is unaffected by capacity.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -202,10 +203,25 @@ impl std::fmt::Display for MemoCacheStats {
 /// A memoized evaluation plus the epoch stamp of its last access.
 type StampedEntry = ((f64, Confidence), u64);
 
+/// One independently locked slice of the cache. Bounded caches also keep
+/// a stamp→key recency index so eviction pops the exact LRU entry in
+/// O(log n) instead of scanning the whole shard under the lock — at the
+/// serve default of 16K entries per shard, a full scan per miss would
+/// serialize every worker on precisely the diverse-request load the cap
+/// exists to absorb. Stamps come from a shared atomic counter, so they
+/// are unique and the index is a bijection with the map's entries.
+#[derive(Debug, Default)]
+struct Shard {
+    map: HashMap<MemoKey, StampedEntry>,
+    /// Recency index; kept empty (and unmaintained) on unbounded caches,
+    /// which never evict and so never need it.
+    by_stamp: BTreeMap<u64, MemoKey>,
+}
+
 #[derive(Debug)]
 pub struct MemoCache {
     /// Each entry carries the value and its last-access epoch stamp.
-    shards: Vec<Mutex<HashMap<MemoKey, StampedEntry>>>,
+    shards: Vec<Mutex<Shard>>,
     /// Global access clock: every probe hit and every store draws a fresh
     /// stamp, so per-shard minimum-stamp eviction is exactly LRU within
     /// the shard. Relaxed ordering suffices — stamps only order accesses,
@@ -256,7 +272,7 @@ impl MemoCache {
         let misses = obs.handle("misses");
         let evictions = obs.handle("evictions");
         MemoCache {
-            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
             epoch: CachePadded(AtomicU64::new(0)),
             capacity,
             per_shard_cap: capacity.map_or(usize::MAX, |c| c / SHARDS),
@@ -277,11 +293,18 @@ impl MemoCache {
         &self.obs
     }
 
-    /// Looks up `key` without counting, refreshing its LRU stamp on a hit.
+    /// Looks up `key` without counting, refreshing its LRU stamp (and
+    /// recency-index slot, on bounded caches) on a hit.
     fn probe(&self, key: &MemoKey) -> Option<(f64, Confidence)> {
-        let mut shard = self.shards[key.shard()].lock().expect("memo shard poisoned");
-        let entry = shard.get_mut(key)?;
-        entry.1 = self.epoch.0.fetch_add(1, Ordering::Relaxed);
+        let mut guard = self.shards[key.shard()].lock().expect("memo shard poisoned");
+        let shard = &mut *guard;
+        let entry = shard.map.get_mut(key)?;
+        if self.capacity.is_some() {
+            let stamp = self.epoch.0.fetch_add(1, Ordering::Relaxed);
+            shard.by_stamp.remove(&entry.1);
+            entry.1 = stamp;
+            shard.by_stamp.insert(stamp, *key);
+        }
         Some(entry.0)
     }
 
@@ -290,14 +313,24 @@ impl MemoCache {
     /// shard past its cap.
     fn store(&self, key: MemoKey, value: (f64, Confidence)) {
         let stamp = self.epoch.0.fetch_add(1, Ordering::Relaxed);
-        let mut shard = self.shards[key.shard()].lock().expect("memo shard poisoned");
-        if shard.len() >= self.per_shard_cap && !shard.contains_key(&key) {
-            if let Some(victim) = shard.iter().min_by_key(|(_, &(_, e))| e).map(|(k, _)| *k) {
-                shard.remove(&victim);
+        let mut guard = self.shards[key.shard()].lock().expect("memo shard poisoned");
+        let shard = &mut *guard;
+        if self.capacity.is_none() {
+            shard.map.insert(key, (value, stamp));
+            return;
+        }
+        if let Some(&(_, old_stamp)) = shard.map.get(&key) {
+            // Re-store of a resident key: retire its old index slot so the
+            // index never holds a stale stamp for a live entry.
+            shard.by_stamp.remove(&old_stamp);
+        } else if shard.map.len() >= self.per_shard_cap {
+            if let Some((_, victim)) = shard.by_stamp.pop_first() {
+                shard.map.remove(&victim);
                 self.evictions.incr();
             }
         }
-        shard.insert(key, (value, stamp));
+        shard.map.insert(key, (value, stamp));
+        shard.by_stamp.insert(stamp, key);
     }
 
     /// Looks up `key`, evaluating `compute` and storing its result on a
@@ -325,7 +358,7 @@ impl MemoCache {
             entries: self
                 .shards
                 .iter()
-                .map(|s| s.lock().expect("memo shard poisoned").len())
+                .map(|s| s.lock().expect("memo shard poisoned").map.len())
                 .sum(),
             evictions: self.evictions.get(),
         }
@@ -334,7 +367,9 @@ impl MemoCache {
     /// Drops all entries and zeroes the counters.
     pub fn clear(&self) {
         for s in &self.shards {
-            s.lock().expect("memo shard poisoned").clear();
+            let mut shard = s.lock().expect("memo shard poisoned");
+            shard.map.clear();
+            shard.by_stamp.clear();
         }
         self.hits.reset();
         self.misses.reset();
@@ -652,6 +687,32 @@ mod tests {
     #[should_panic(expected = "memo capacity must be at least")]
     fn sub_shard_capacity_rejected() {
         let _ = MemoCache::with_capacity(3);
+    }
+
+    #[test]
+    fn recency_index_stays_bijective_with_the_map() {
+        let cache = MemoCache::with_capacity(16); // one entry per shard
+        let hot = MemoKey::of(&KernelSpec::gemm(1, 1, 1));
+        cache.store(hot, (1.0, Confidence::Calibrated));
+        // A racing re-store of a resident key must retire the old index
+        // slot, not leave a stale stamp behind.
+        cache.store(hot, (2.0, Confidence::Calibrated));
+        for i in 0..100u64 {
+            cache.store(MemoKey::of(&KernelSpec::gemm(8 + i, 8, 8)), (0.0, Confidence::Calibrated));
+            let _ = cache.probe(&hot);
+        }
+        assert!(cache.stats().entries <= 16);
+        for s in &cache.shards {
+            let s = s.lock().unwrap();
+            assert_eq!(s.map.len(), s.by_stamp.len(), "index desynced from map");
+            for (stamp, key) in &s.by_stamp {
+                assert_eq!(
+                    s.map.get(key).map(|&(_, st)| st),
+                    Some(*stamp),
+                    "index stamp disagrees with entry stamp"
+                );
+            }
+        }
     }
 
     #[test]

@@ -10,12 +10,19 @@
 //! ([`prescreen`]): the vendored parser recurses on nested containers, so
 //! a 10 MB line of `[[[[…` would otherwise be a stack-overflow request.
 
+use std::io::{BufRead, Read};
+
 use serde::{Deserialize, Serialize};
 
 /// Longest request line the server will parse, in bytes.
 pub const MAX_LINE_BYTES: usize = 256 * 1024;
 /// Deepest container nesting the server will parse.
 pub const MAX_JSON_DEPTH: usize = 64;
+/// Largest per-request deadline honored, in milliseconds (one day).
+/// Client deadlines are clamped here rather than fed to `Duration`
+/// arithmetic raw: `Duration::from_secs_f64` panics on values that
+/// overflow it, and a deadline is a bound, not a trusted input.
+pub const MAX_DEADLINE_MS: f64 = 86_400_000.0;
 
 /// One request envelope.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -312,6 +319,69 @@ pub fn prescreen(line: &str) -> Result<(), &'static str> {
     Ok(())
 }
 
+/// Outcome of one [`read_bounded_line`] call.
+#[derive(Debug)]
+pub enum LineRead {
+    /// The stream ended cleanly.
+    Eof,
+    /// One complete line, trailing `\n`/`\r\n` stripped.
+    Line(String),
+    /// The line exceeded [`MAX_LINE_BYTES`]. Its remainder has already
+    /// been drained through the next newline (or EOF) in bounded memory,
+    /// so the caller can reject it and keep reading the stream.
+    Oversized,
+}
+
+/// Reads one protocol line while never buffering more than
+/// [`MAX_LINE_BYTES`] + 1 bytes, whatever the peer sends. This is the
+/// transport-side half of the hostile-input screen: [`prescreen`] checks
+/// a line it is handed, but only a capped read keeps a newline-less
+/// multi-gigabyte stream from exhausting memory before that check runs.
+///
+/// # Errors
+/// Propagates transport I/O errors; non-UTF-8 lines surface as
+/// `InvalidData`, matching what `BufRead::lines` would have produced.
+pub fn read_bounded_line<R: std::io::BufRead>(reader: &mut R) -> std::io::Result<LineRead> {
+    let mut buf = Vec::new();
+    let n = (&mut *reader).take(MAX_LINE_BYTES as u64 + 1).read_until(b'\n', &mut buf)?;
+    if n == 0 {
+        return Ok(LineRead::Eof);
+    }
+    if buf.last() == Some(&b'\n') {
+        buf.pop();
+        if buf.last() == Some(&b'\r') {
+            buf.pop();
+        }
+    } else if buf.len() > MAX_LINE_BYTES {
+        // The cap fired before a newline: skip to the end of this line
+        // chunk-by-chunk so the next read starts on a fresh line.
+        loop {
+            let chunk = reader.fill_buf()?;
+            if chunk.is_empty() {
+                break;
+            }
+            match chunk.iter().position(|&b| b == b'\n') {
+                Some(pos) => {
+                    reader.consume(pos + 1);
+                    break;
+                }
+                None => {
+                    let len = chunk.len();
+                    reader.consume(len);
+                }
+            }
+        }
+        return Ok(LineRead::Oversized);
+    }
+    match String::from_utf8(buf) {
+        Ok(line) => Ok(LineRead::Line(line)),
+        Err(_) => Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "stream did not contain valid UTF-8",
+        )),
+    }
+}
+
 #[cfg(test)]
 #[allow(clippy::unwrap_used)]
 mod tests {
@@ -359,6 +429,46 @@ mod tests {
         match req.op {
             Op::Predict(q) => assert_eq!(q.deadline_ms, None),
             other => panic!("wrong op: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bounded_read_survives_an_oversized_line_and_resumes() {
+        // A 3x-over-cap line, then a valid line: the oversized one is
+        // reported (and drained) without ever materializing in full, and
+        // the stream stays usable.
+        let mut data = vec![b'x'; MAX_LINE_BYTES * 3];
+        data.push(b'\n');
+        data.extend_from_slice(b"{\"id\":1}\r\n");
+        let mut reader = std::io::BufReader::with_capacity(4096, &data[..]);
+        assert!(matches!(read_bounded_line(&mut reader).unwrap(), LineRead::Oversized));
+        match read_bounded_line(&mut reader).unwrap() {
+            LineRead::Line(line) => assert_eq!(line, "{\"id\":1}"),
+            other => panic!("expected the next line, got {other:?}"),
+        }
+        assert!(matches!(read_bounded_line(&mut reader).unwrap(), LineRead::Eof));
+    }
+
+    #[test]
+    fn bounded_read_handles_caps_and_unterminated_tails() {
+        // Exactly at the cap: accepted (prescreen allows len == cap).
+        let mut data = vec![b'y'; MAX_LINE_BYTES];
+        data.push(b'\n');
+        let mut reader = std::io::BufReader::new(&data[..]);
+        match read_bounded_line(&mut reader).unwrap() {
+            LineRead::Line(line) => assert_eq!(line.len(), MAX_LINE_BYTES),
+            other => panic!("expected a line at the cap, got {other:?}"),
+        }
+        // One byte over, never newline-terminated: oversized, then EOF.
+        let data = vec![b'z'; MAX_LINE_BYTES + 1];
+        let mut reader = std::io::BufReader::new(&data[..]);
+        assert!(matches!(read_bounded_line(&mut reader).unwrap(), LineRead::Oversized));
+        assert!(matches!(read_bounded_line(&mut reader).unwrap(), LineRead::Eof));
+        // A final line without a trailing newline still parses.
+        let mut reader = std::io::BufReader::new(&b"ping"[..]);
+        match read_bounded_line(&mut reader).unwrap() {
+            LineRead::Line(line) => assert_eq!(line, "ping"),
+            other => panic!("expected the tail line, got {other:?}"),
         }
     }
 

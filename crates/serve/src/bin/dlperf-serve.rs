@@ -19,7 +19,7 @@
 //! through `dlperf-obs` and write a Chrome trace the `trace` crate can
 //! re-ingest on exit.
 
-use std::io::{BufRead, Write};
+use std::io::Write;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -28,6 +28,7 @@ use dlperf_faults::FaultPlan;
 use dlperf_gpusim::DeviceSpec;
 use dlperf_kernels::CalibrationEffort;
 use dlperf_models::zoo;
+use dlperf_serve::api::{read_bounded_line, LineRead, MAX_DEADLINE_MS};
 use dlperf_serve::{Server, ServerConfig};
 use dlperf_trace::ChromeTraceSink;
 
@@ -98,7 +99,10 @@ fn parse_opts() -> Result<Opts, String> {
             "--queue" => opts.cfg.queue_capacity = parse_num(&value("--queue")?, "--queue")?,
             "--deadline-ms" => {
                 let ms: f64 = parse_num(&value("--deadline-ms")?, "--deadline-ms")?;
-                opts.cfg.default_deadline = Duration::from_secs_f64(ms.max(1.0) / 1000.0);
+                if !ms.is_finite() || !(1.0..=MAX_DEADLINE_MS).contains(&ms) {
+                    return Err(format!("--deadline-ms must be in [1, {MAX_DEADLINE_MS:.0}]"));
+                }
+                opts.cfg.default_deadline = Duration::from_secs_f64(ms / 1000.0);
             }
             "--latency-budget-ms" => {
                 opts.cfg.latency_budget_ms =
@@ -248,12 +252,18 @@ fn main() {
     // a graceful shutdown, whatever the listeners are doing.
     let stdin = std::io::stdin();
     let stdout = std::io::stdout();
-    for line in stdin.lock().lines() {
-        let Ok(line) = line else { break };
-        if line.trim().is_empty() {
-            continue;
-        }
-        let reply = server.submit_json(&line);
+    let mut reader = stdin.lock();
+    loop {
+        let reply = match read_bounded_line(&mut reader) {
+            Err(_) | Ok(LineRead::Eof) => break,
+            Ok(LineRead::Oversized) => server.reject_line("request line exceeds size cap"),
+            Ok(LineRead::Line(line)) => {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                server.submit_json(&line)
+            }
+        };
         let mut out = stdout.lock();
         if writeln!(out, "{reply}").and_then(|()| out.flush()).is_err() {
             break;
@@ -279,19 +289,26 @@ fn main() {
     }
 }
 
-/// Runs the line protocol over one bidirectional byte stream.
+/// Runs the line protocol over one bidirectional byte stream. Lines are
+/// read through the bounded reader, so a peer streaming gigabytes with no
+/// newline gets a 400 and a drain, never an unbounded buffer.
 fn serve_stream<S: std::io::Read + Write>(server: &Server, stream: S)
 where
     for<'a> &'a S: std::io::Read + Write,
 {
-    let reader = std::io::BufReader::new(&stream);
+    let mut reader = std::io::BufReader::new(&stream);
     let mut writer = &stream;
-    for line in reader.lines() {
-        let Ok(line) = line else { break };
-        if line.trim().is_empty() {
-            continue;
-        }
-        let reply = server.submit_json(&line);
+    loop {
+        let reply = match read_bounded_line(&mut reader) {
+            Err(_) | Ok(LineRead::Eof) => break,
+            Ok(LineRead::Oversized) => server.reject_line("request line exceeds size cap"),
+            Ok(LineRead::Line(line)) => {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                server.submit_json(&line)
+            }
+        };
         if writeln!(writer, "{reply}").and_then(|()| writer.flush()).is_err() {
             break;
         }

@@ -47,9 +47,13 @@ mod tests {
 
     use super::*;
 
-    fn quick_pipeline() -> Pipeline {
+    fn quick_pipeline_for(device: &DeviceSpec) -> Pipeline {
         let workloads = vec![zoo::build("dlrm-default", 512).unwrap()];
-        Pipeline::analyze(&DeviceSpec::v100(), &workloads, CalibrationEffort::Quick, 5, 11)
+        Pipeline::analyze(device, &workloads, CalibrationEffort::Quick, 5, 11)
+    }
+
+    fn quick_pipeline() -> Pipeline {
+        quick_pipeline_for(&DeviceSpec::v100())
     }
 
     fn small_config() -> ServerConfig {
@@ -344,6 +348,100 @@ mod tests {
                 assert!(r.recommended.is_none());
                 assert_eq!(r.rejected.len(), 2);
                 assert!(r.rejected[0].reason.contains("exceeds"), "{}", r.rejected[0].reason);
+            }
+            other => panic!("expected recommendation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hostile_deadlines_cannot_kill_the_worker_pool() {
+        // Duration::from_secs_f64 panics on values like 1e300; fed raw
+        // from deadline_ms it would unwind workers outside the request
+        // catch_unwind boundary — each such request retiring one worker
+        // for good. More hostile requests than workers proves both the
+        // clamp and the respawn-on-death guard.
+        let cfg = ServerConfig { workers: 2, ..small_config() };
+        let server =
+            Server::start(vec![quick_pipeline()], &["dlrm-default"], cfg, None).unwrap();
+        let hostile = [1e300, f64::INFINITY, f64::NAN, -1e300, -1.0, f64::MIN_POSITIVE];
+        for (i, ms) in hostile.iter().cycle().take(8).enumerate() {
+            let resp = server.submit(Request {
+                id: i as u64,
+                op: Op::Predict(PredictQuery {
+                    model: "dlrm-default".into(),
+                    batch: 512,
+                    device: "v100".into(),
+                    deadline_ms: Some(*ms),
+                }),
+            });
+            // Clamped-to-zero deadlines get a 504; the rest get answers.
+            // What no request may get is a dead-pool "shut down" error.
+            match resp.body {
+                Body::Prediction(_) => {}
+                Body::Error(e) => {
+                    assert_eq!(e.code, 504, "deadline {ms}: unexpected error {e:?}")
+                }
+                other => panic!("deadline {ms}: got {other:?}"),
+            }
+        }
+        let resp = server.submit(Request { id: 99, op: Op::Ping });
+        assert!(matches!(resp.body, Body::Pong), "pool died: {resp:?}");
+        assert_eq!(server.stats().panics, 0, "hostile deadlines must not panic workers");
+    }
+
+    #[test]
+    fn transport_rejected_lines_are_counted_and_valid_json() {
+        let server =
+            Server::start(vec![quick_pipeline()], &["dlrm-default"], small_config(), None)
+                .unwrap();
+        let line = server.reject_line("request line exceeds size cap");
+        let resp: Response = serde_json::from_str(&line).unwrap();
+        match resp.body {
+            Body::Error(e) => {
+                assert_eq!(e.code, 400);
+                assert!(e.message.contains("size cap"), "{}", e.message);
+            }
+            other => panic!("expected 400, got {other:?}"),
+        }
+        let stats = server.stats();
+        assert_eq!(stats.rejected, 1);
+        assert_eq!(stats.completed, 1);
+    }
+
+    #[test]
+    fn recommend_prices_each_device_once_despite_repeats_and_aliases() {
+        let server = Server::start(
+            vec![
+                quick_pipeline_for(&DeviceSpec::v100()),
+                quick_pipeline_for(&DeviceSpec::p100()),
+            ],
+            &["dlrm-default"],
+            small_config(),
+            None,
+        )
+        .unwrap();
+        // Non-adjacent repeats (and an alias of the first device): each
+        // canonical device must appear exactly once in the ranking.
+        let resp = server.submit(Request {
+            id: 60,
+            op: Op::Recommend(RecommendQuery {
+                model: "dlrm-default".into(),
+                batches: vec![256],
+                devices: vec!["v100".into(), "p100".into(), "tesla-v100".into()],
+                max_latency_ms: None,
+                world_sizes: vec![],
+                objective: Objective::Latency,
+                deadline_ms: Some(60_000.0),
+            }),
+        });
+        match resp.body {
+            Body::Recommendation(r) => {
+                assert_eq!(r.ranked.len(), 2, "one entry per device: {:?}", r.ranked);
+                let mut devices: Vec<&str> =
+                    r.ranked.iter().map(|c| c.device.as_str()).collect();
+                devices.sort_unstable();
+                devices.dedup();
+                assert_eq!(devices.len(), 2, "duplicate device priced twice");
             }
             other => panic!("expected recommendation, got {other:?}"),
         }

@@ -42,7 +42,10 @@ pub(crate) fn run(shared: &Shared, q: &RecommendQuery, token: &CancellationToken
                 }
             }
         }
-        names.dedup();
+        // Set-dedup in first-occurrence order: aliases of one device, or
+        // non-adjacent repeats, must not be priced (and ranked) twice.
+        let mut seen = std::collections::HashSet::new();
+        names.retain(|n| seen.insert(n.clone()));
         names
     };
     let batches: &[u64] = if q.batches.is_empty() { &DEFAULT_BATCHES } else { &q.batches };

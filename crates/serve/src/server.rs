@@ -49,6 +49,7 @@ use dlperf_runtime::{CancellationToken, Watchdog};
 
 use crate::api::{
     Body, ErrorCode, Op, PredictQuery, PredictionBody, Request, Response, StatsBody,
+    MAX_DEADLINE_MS,
 };
 
 /// Tuning knobs for [`Server::start`].
@@ -369,9 +370,17 @@ impl Server {
                 Ok(req) => self.submit(req),
             },
         };
-        serde_json::to_string(&resp).unwrap_or_else(|_| {
-            r#"{"id": 0, "body": {"Error": {"code": 500, "kind": "internal", "message": "response serialization failed"}}}"#.to_string()
-        })
+        encode_response(&resp)
+    }
+
+    /// The wire response for a line rejected by the transport before it
+    /// was ever fully read (e.g. longer than [`crate::api::MAX_LINE_BYTES`],
+    /// so buffering it for [`Server::submit_json`] would itself be the
+    /// attack). Counted like any other prescreen rejection.
+    pub fn reject_line(&self, reason: &str) -> String {
+        self.shared.rejected.incr();
+        self.shared.completed.incr();
+        encode_response(&Response { id: 0, body: Body::error(ErrorCode::BadRequest, reason) })
     }
 
     /// A point-in-time counter snapshot (also served as `Op::Stats`).
@@ -455,32 +464,65 @@ enum Routed {
     Kill(Body),
 }
 
+/// Respawns a replacement worker whenever its thread dies for any reason
+/// other than a clean queue drain — the cooperative injected-kill return,
+/// but also any panic that unwinds past [`serve_one`]'s `catch_unwind`
+/// boundary. Tying the pool's self-healing to thread death (not to one
+/// return value) means no single request, however hostile, can retire a
+/// worker permanently.
+struct RespawnGuard {
+    shared: Arc<Shared>,
+    rx: Receiver<Job>,
+    armed: bool,
+}
+
+impl Drop for RespawnGuard {
+    fn drop(&mut self) {
+        if self.armed {
+            spawn_worker(self.shared.clone(), self.rx.clone());
+        }
+    }
+}
+
 fn spawn_worker(shared: Arc<Shared>, rx: Receiver<Job>) {
     std::thread::Builder::new()
         .name("dlperf-serve-worker".into())
-        .spawn(move || loop {
-            let job = match rx.recv() {
-                Ok(job) => job,
-                Err(_) => break,
-            };
-            shared.depth.fetch_sub(1, Ordering::SeqCst);
-            if !serve_one(&shared, job) {
-                // The thread is "killed": its last act is to heal the
-                // pool, exactly like a supervised worker restart.
-                spawn_worker(shared.clone(), rx.clone());
-                break;
+        .spawn(move || {
+            let mut guard = RespawnGuard { shared: shared.clone(), rx: rx.clone(), armed: true };
+            loop {
+                let job = match rx.recv() {
+                    Ok(job) => job,
+                    Err(_) => {
+                        // Queue closed: the one exit that must NOT heal.
+                        guard.armed = false;
+                        return;
+                    }
+                };
+                shared.depth.fetch_sub(1, Ordering::SeqCst);
+                if !serve_one(&shared, job) {
+                    // Injected kill: die for real; the guard respawns.
+                    return;
+                }
             }
         })
         .expect("serve worker thread spawns");
 }
 
+/// The effective deadline for a request: the client's millisecond value
+/// clamped to `[0, MAX_DEADLINE_MS]`, the server default when absent or
+/// non-finite. Never panics — a hostile `deadline_ms` (`1e300`, `NaN`,
+/// negative) must degrade to a boring deadline, not unwind a worker.
+fn request_deadline(ms: Option<f64>, default: Duration) -> Duration {
+    let Some(ms) = ms else { return default };
+    if !ms.is_finite() {
+        return default;
+    }
+    Duration::try_from_secs_f64(ms.clamp(0.0, MAX_DEADLINE_MS) / 1000.0).unwrap_or(default)
+}
+
 /// Serves one job; returns whether this worker should keep running.
 fn serve_one(shared: &Arc<Shared>, job: Job) -> bool {
-    let deadline = job
-        .req
-        .op
-        .deadline_ms()
-        .map_or(shared.cfg.default_deadline, |ms| Duration::from_secs_f64(ms.max(0.0) / 1000.0));
+    let deadline = request_deadline(job.req.op.deadline_ms(), shared.cfg.default_deadline);
     let waited = job.enqueued.elapsed();
     let mut keep_running = true;
     let body = if waited >= deadline {
@@ -668,6 +710,14 @@ pub(crate) fn prediction_body(
         degraded_kernels: p.degraded_kernels,
         confidence: confidence.to_string(),
     }
+}
+
+/// Serializes a response line, with a hand-written fallback so even a
+/// serializer failure yields valid JSON on the wire.
+fn encode_response(resp: &Response) -> String {
+    serde_json::to_string(resp).unwrap_or_else(|_| {
+        r#"{"id": 0, "body": {"Error": {"code": 500, "kind": "internal", "message": "response serialization failed"}}}"#.to_string()
+    })
 }
 
 /// Extracts the panic payload's message, like the supervisor does.
