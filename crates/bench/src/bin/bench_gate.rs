@@ -25,8 +25,20 @@ use std::process::ExitCode;
 const GATED_KEYS: [&str; 2] = ["speedup", "memo_speedup"];
 const CEILINGS: [(&str, f64); 1] = [("obs_overhead_pct", 3.0)];
 /// Run-configuration keys echoed (never gated) so the log records the
-/// threading context the gated ratios were measured under.
-const CONTEXT_KEYS: [&str; 3] = ["sweep_threads", "effective_threads", "host_threads"];
+/// threading context the gated ratios were measured under, plus the
+/// trace-ingestion throughput/footprint keys from `BENCH_ingest.json`
+/// (echoed for the same reason: wall-clock and RSS on shared runners
+/// are too noisy to floor — the bounded-buffer invariant itself is
+/// asserted by tests, not this diff).
+const CONTEXT_KEYS: [&str; 7] = [
+    "sweep_threads",
+    "effective_threads",
+    "host_threads",
+    "ingest_events_per_sec",
+    "ingest_peak_buffer_bytes",
+    "ingest_peak_rss_kib",
+    "ingest_wall_ms",
+];
 const DEFAULT_TOLERANCE: f64 = 0.10;
 
 fn main() -> ExitCode {

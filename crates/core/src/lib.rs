@@ -37,12 +37,17 @@
 pub mod baselines;
 pub mod codesign;
 pub mod incremental;
+pub mod ingest;
 pub mod pipeline;
 pub mod predictor;
 pub mod report;
 pub mod sweep;
 
 pub use incremental::{IncrementalPredictor, IncrementalStats};
+pub use ingest::{
+    collect_family_samples, family_medians, CalibrationPolicy, CorpusIngest, CorpusIngestJob,
+    CorpusIngestState, FamilyFit, TraceCalibration,
+};
 pub use pipeline::{AnalysisJob, AnalysisReport, AnalysisState, Pipeline, PipelineError};
 pub use predictor::{E2ePredictor, OverheadGranularity, PredictError, Prediction, T4Policy};
 pub use report::{ErrorSummary, PredictionRow};

@@ -71,6 +71,58 @@ pub enum WorkerFault {
     Hang,
 }
 
+/// Deterministic corruption model for trace-corpus files.
+///
+/// Consumed by the ingestion chaos harness: for each corpus file it
+/// hashes the site `(corpus key, file index)` and, with these
+/// probabilities, picks at most one corruption to apply to the file's
+/// bytes — exercising the `trace::ingest` scanner's quarantine and
+/// skip-budget paths reproducibly, the way worker faults exercise the
+/// supervisor.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct TraceFaultPlan {
+    /// Probability that the file is cut short mid-byte-stream (a
+    /// crashed writer).
+    pub truncate_prob: f64,
+    /// Probability that a few bits flip somewhere in the file
+    /// (bit rot).
+    pub bitflip_prob: f64,
+    /// Probability that one event object is duplicated in place
+    /// (a replayed log segment; duplicates its correlation id).
+    pub duplicate_prob: f64,
+    /// Probability that two adjacent events swap positions
+    /// (out-of-order flush).
+    pub reorder_prob: f64,
+    /// Probability that a garbage line is spliced between two events.
+    pub garbage_prob: f64,
+}
+
+impl TraceFaultPlan {
+    /// Whether all probabilities are zero.
+    pub fn is_healthy(&self) -> bool {
+        self.truncate_prob == 0.0
+            && self.bitflip_prob == 0.0
+            && self.duplicate_prob == 0.0
+            && self.reorder_prob == 0.0
+            && self.garbage_prob == 0.0
+    }
+}
+
+/// A corpus fault selected at one `(corpus, file)` site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceFault {
+    /// The file is cut short.
+    Truncate,
+    /// A few bits are flipped.
+    BitFlips,
+    /// One event object is duplicated.
+    DuplicateEvent,
+    /// Two adjacent events swap positions.
+    ReorderEvents,
+    /// A garbage line is spliced between events.
+    GarbageLine,
+}
+
 /// A complete, serializable fault scenario.
 ///
 /// The default plan is healthy: no stragglers, no slowdowns, no drops, no
@@ -103,6 +155,9 @@ pub struct FaultPlan {
     /// Worker-process faults for supervised jobs. `None` means healthy, so
     /// plans serialized before this field existed still deserialize.
     pub worker: Option<WorkerFaultPlan>,
+    /// Trace-corpus corruption for ingestion chaos. `None` means healthy,
+    /// so plans serialized before this field existed still deserialize.
+    pub trace: Option<TraceFaultPlan>,
 }
 
 impl Default for FaultPlan {
@@ -125,6 +180,7 @@ impl FaultPlan {
             max_retries: 3,
             backoff_base_us: 50.0,
             worker: None,
+            trace: None,
         }
     }
 
@@ -221,6 +277,32 @@ impl FaultPlan {
         self
     }
 
+    /// Configures trace-corpus corruption for ingestion chaos (builder
+    /// style). Probabilities are folded into one site sample per file;
+    /// their sum must stay in `[0, 1]`.
+    pub fn with_trace_faults(mut self, plan: TraceFaultPlan) -> Self {
+        for (name, p) in [
+            ("truncate", plan.truncate_prob),
+            ("bitflip", plan.bitflip_prob),
+            ("duplicate", plan.duplicate_prob),
+            ("reorder", plan.reorder_prob),
+            ("garbage", plan.garbage_prob),
+        ] {
+            assert!((0.0..=1.0).contains(&p), "trace {name} probability must be in [0, 1]");
+        }
+        assert!(
+            plan.truncate_prob
+                + plan.bitflip_prob
+                + plan.duplicate_prob
+                + plan.reorder_prob
+                + plan.garbage_prob
+                <= 1.0,
+            "trace fault probabilities must sum to at most 1"
+        );
+        self.trace = Some(plan);
+        self
+    }
+
     /// Whether the plan injects any fault at all.
     pub fn is_healthy(&self) -> bool {
         self.stragglers.is_empty()
@@ -229,6 +311,7 @@ impl FaultPlan {
             && self.host_jitter_us == 0.0
             && self.collective_drop_prob == 0.0
             && self.worker.is_none_or(|w| w.is_healthy())
+            && self.trace.is_none_or(|t| t.is_healthy())
     }
 }
 
@@ -256,6 +339,7 @@ struct InjectorCounters {
     worker_faults: dlperf_obs::CounterHandle,
     collective_retries: dlperf_obs::CounterHandle,
     collective_drops: dlperf_obs::CounterHandle,
+    trace_faults: dlperf_obs::CounterHandle,
 }
 
 fn injector_counters() -> &'static InjectorCounters {
@@ -263,12 +347,13 @@ fn injector_counters() -> &'static InjectorCounters {
     G.get_or_init(|| {
         let group = dlperf_obs::CounterGroup::register(
             "faults.injector",
-            &["worker_faults", "collective_retries", "collective_drops"],
+            &["worker_faults", "collective_retries", "collective_drops", "trace_faults"],
         );
         InjectorCounters {
             worker_faults: group.handle("worker_faults"),
             collective_retries: group.handle("collective_retries"),
             collective_drops: group.handle("collective_drops"),
+            trace_faults: group.handle("trace_faults"),
             _group: group,
         }
     })
@@ -485,6 +570,131 @@ impl FaultInjector {
         }
         fault
     }
+
+    /// Evaluates the trace-corruption model at the stateless site
+    /// `(corpus_key, file_index)`: at most one fault per file, the same
+    /// fault every time the site is asked. Returns `None` when no
+    /// trace plan is configured or the draw lands on "healthy".
+    pub fn trace_fault(&self, corpus_key: u64, file_index: u64) -> Option<TraceFault> {
+        let t = self.plan.trace?;
+        if t.is_healthy() {
+            return None;
+        }
+        let u = self.unit(&[0x7EAC_E511, corpus_key, file_index]);
+        let after_truncate = t.truncate_prob;
+        let after_bitflip = after_truncate + t.bitflip_prob;
+        let after_duplicate = after_bitflip + t.duplicate_prob;
+        let after_reorder = after_duplicate + t.reorder_prob;
+        let after_garbage = after_reorder + t.garbage_prob;
+        let fault = if u < after_truncate {
+            Some(TraceFault::Truncate)
+        } else if u < after_bitflip {
+            Some(TraceFault::BitFlips)
+        } else if u < after_duplicate {
+            Some(TraceFault::DuplicateEvent)
+        } else if u < after_reorder {
+            Some(TraceFault::ReorderEvents)
+        } else if u < after_garbage {
+            Some(TraceFault::GarbageLine)
+        } else {
+            None
+        };
+        if fault.is_some() {
+            injector_counters().trace_faults.incr();
+        }
+        fault
+    }
+
+    /// Applies the site's selected fault (if any) to a serialized trace
+    /// file in place, returning what was done. Purely deterministic:
+    /// the fault kind and every corruption position derive from
+    /// `(seed, corpus_key, file_index)`, never from the call sequence.
+    ///
+    /// Event boundaries are located by the `},{` byte pattern of the
+    /// flat event serialization; files too small to carry a structural
+    /// fault degrade to truncation so a selected fault never silently
+    /// becomes a no-op.
+    pub fn mangle_trace_bytes(
+        &self,
+        corpus_key: u64,
+        file_index: u64,
+        bytes: &mut Vec<u8>,
+    ) -> Option<TraceFault> {
+        let fault = self.trace_fault(corpus_key, file_index)?;
+        if bytes.len() < 4 {
+            return Some(fault);
+        }
+        let draw = |salt: u64| derive_seed(self.plan.seed, &[0x7EAC_E512, corpus_key, file_index, salt]);
+        let boundaries: Vec<usize> = bytes
+            .windows(3)
+            .enumerate()
+            .filter_map(|(i, w)| (w == b"},{").then_some(i))
+            .collect();
+        let truncate = |bytes: &mut Vec<u8>, r: u64| {
+            let len = bytes.len();
+            let cut = (len / 4 + (r as usize % (len / 2).max(1))).max(1);
+            bytes.truncate(cut);
+        };
+        let applied = match fault {
+            TraceFault::Truncate => {
+                truncate(bytes, draw(1));
+                TraceFault::Truncate
+            }
+            TraceFault::BitFlips => {
+                let flips = 1 + (draw(2) % 4);
+                for k in 0..flips {
+                    let r = draw(3 + k);
+                    let pos = r as usize % bytes.len();
+                    let bit = (r >> 32) % 8;
+                    bytes[pos] ^= 1 << bit;
+                }
+                TraceFault::BitFlips
+            }
+            TraceFault::DuplicateEvent if boundaries.len() >= 2 => {
+                let i = draw(8) as usize % (boundaries.len() - 1);
+                let (start, end) = (boundaries[i] + 2, boundaries[i + 1]);
+                let event: Vec<u8> = bytes[start..=end].to_vec();
+                let mut out = Vec::with_capacity(bytes.len() + event.len() + 1);
+                out.extend_from_slice(&bytes[..=end]);
+                out.push(b',');
+                out.extend_from_slice(&event);
+                out.extend_from_slice(&bytes[end + 1..]);
+                *bytes = out;
+                TraceFault::DuplicateEvent
+            }
+            TraceFault::ReorderEvents if boundaries.len() >= 3 => {
+                let i = draw(9) as usize % (boundaries.len() - 2);
+                let a: Vec<u8> = bytes[boundaries[i] + 2..=boundaries[i + 1]].to_vec();
+                let b: Vec<u8> = bytes[boundaries[i + 1] + 2..=boundaries[i + 2]].to_vec();
+                let mut out = Vec::with_capacity(bytes.len());
+                out.extend_from_slice(&bytes[..boundaries[i] + 2]);
+                out.extend_from_slice(&b);
+                out.push(b',');
+                out.extend_from_slice(&a);
+                out.extend_from_slice(&bytes[boundaries[i + 2] + 1..]);
+                *bytes = out;
+                TraceFault::ReorderEvents
+            }
+            TraceFault::GarbageLine if !boundaries.is_empty() => {
+                let i = draw(10) as usize % boundaries.len();
+                let at = boundaries[i] + 1;
+                let garbage = format!("\n<<corrupt segment {:016x}>>\n,", draw(11));
+                let mut out = Vec::with_capacity(bytes.len() + garbage.len());
+                out.extend_from_slice(&bytes[..at]);
+                out.extend_from_slice(garbage.as_bytes());
+                out.extend_from_slice(&bytes[at + 1..]);
+                *bytes = out;
+                TraceFault::GarbageLine
+            }
+            // Too few events for a structural fault: degrade to
+            // truncation so the file is still visibly corrupted.
+            TraceFault::DuplicateEvent | TraceFault::ReorderEvents | TraceFault::GarbageLine => {
+                truncate(bytes, draw(12));
+                TraceFault::Truncate
+            }
+        };
+        Some(applied)
+    }
 }
 
 /// Mirrors one collective outcome into the injector counters.
@@ -619,10 +829,79 @@ mod tests {
     #[test]
     fn old_plan_json_without_worker_field_still_loads() {
         let json = serde_json::to_string(&FaultPlan::healthy(5)).expect("serializes");
-        let legacy = json.replace(",\"worker\":null", "");
+        let legacy = json.replace(",\"worker\":null", "").replace(",\"trace\":null", "");
         assert_ne!(json, legacy, "the worker key must have been stripped");
         let back: FaultPlan = serde_json::from_str(&legacy).expect("legacy plan loads");
         assert!(back.worker.is_none());
+        assert!(back.trace.is_none());
+    }
+
+    fn uniform_trace_plan() -> TraceFaultPlan {
+        TraceFaultPlan {
+            truncate_prob: 0.2,
+            bitflip_prob: 0.2,
+            duplicate_prob: 0.2,
+            reorder_prob: 0.2,
+            garbage_prob: 0.2,
+        }
+    }
+
+    /// A flat events-array document with enough events for every
+    /// structural fault to find its boundaries.
+    fn trace_doc(events: usize) -> Vec<u8> {
+        let elems: Vec<String> = (0..events)
+            .map(|i| format!("{{\"name\":\"e{i}\",\"ts_us\":{i},\"correlation\":{}}}", i + 1))
+            .collect();
+        format!("{{\"workload\":\"w\",\"events\":[{}],\"span_us\":9}}", elems.join(","))
+            .into_bytes()
+    }
+
+    #[test]
+    fn trace_faults_are_deterministic_and_cover_all_kinds() {
+        let inj = FaultInjector::new(
+            FaultPlan::healthy(17).with_trace_faults(uniform_trace_plan()),
+        );
+        let key = site_key("corpus");
+        let mut seen = std::collections::HashSet::new();
+        for file in 0..200 {
+            assert_eq!(inj.trace_fault(key, file), inj.trace_fault(key, file));
+            let mut a = trace_doc(6);
+            let mut b = trace_doc(6);
+            let fa = inj.mangle_trace_bytes(key, file, &mut a);
+            let fb = inj.mangle_trace_bytes(key, file, &mut b);
+            assert_eq!(fa, fb);
+            assert_eq!(a, b, "mangling must be bitwise reproducible");
+            if let Some(f) = fa {
+                assert_ne!(a, trace_doc(6), "a selected fault must change the bytes");
+                seen.insert(format!("{f:?}"));
+            }
+        }
+        assert_eq!(seen.len(), 5, "all five fault kinds appear: {seen:?}");
+        let other = FaultInjector::new(
+            FaultPlan::healthy(18).with_trace_faults(uniform_trace_plan()),
+        );
+        let differs = (0..200).any(|f| inj.trace_fault(key, f) != other.trace_fault(key, f));
+        assert!(differs, "different seeds should corrupt different files");
+    }
+
+    #[test]
+    fn structural_trace_faults_degrade_to_truncation_on_tiny_files() {
+        let plan = TraceFaultPlan { duplicate_prob: 1.0, ..TraceFaultPlan::default() };
+        let inj = FaultInjector::new(FaultPlan::healthy(4).with_trace_faults(plan));
+        let mut doc = trace_doc(1); // no `},{` boundary at all
+        let before = doc.len();
+        let applied = inj.mangle_trace_bytes(site_key("c"), 0, &mut doc);
+        assert_eq!(applied, Some(TraceFault::Truncate));
+        assert!(doc.len() < before);
+    }
+
+    #[test]
+    fn healthy_trace_plan_never_mangles() {
+        let inj = FaultInjector::new(FaultPlan::healthy(9));
+        let mut doc = trace_doc(4);
+        let pristine = doc.clone();
+        assert!(inj.mangle_trace_bytes(site_key("c"), 7, &mut doc).is_none());
+        assert_eq!(doc, pristine);
     }
 
     #[test]

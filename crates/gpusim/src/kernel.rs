@@ -94,6 +94,30 @@ pub enum KernelFamily {
     Conv2d,
 }
 
+impl KernelFamily {
+    /// Every family, in declaration order.
+    pub const ALL: [KernelFamily; 10] = [
+        KernelFamily::Gemm,
+        KernelFamily::EmbeddingForward,
+        KernelFamily::EmbeddingBackward,
+        KernelFamily::Concat,
+        KernelFamily::Memcpy,
+        KernelFamily::Transpose,
+        KernelFamily::TrilForward,
+        KernelFamily::TrilBackward,
+        KernelFamily::Elementwise,
+        KernelFamily::Conv2d,
+    ];
+
+    /// Inverse of the `Display` label — the round-trip trace ingestion
+    /// relies on to attribute kernel events (named `<label>_kernel` by
+    /// the engine) back to a family. Unknown labels return `None`; trace
+    /// corpora may contain kernels this repo has no model for.
+    pub fn parse_label(label: &str) -> Option<KernelFamily> {
+        KernelFamily::ALL.into_iter().find(|f| f.to_string() == label)
+    }
+}
+
 impl std::fmt::Display for KernelFamily {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let s = match self {

@@ -36,6 +36,7 @@ pub mod microbench;
 pub mod mlbased;
 pub mod persist;
 pub mod registry;
+pub mod scaled;
 
 pub use error::{ErrorStats, ErrorStatsError};
 pub use memo::{CachePadded, MemoCache, MemoCacheStats, MemoKey};
@@ -44,3 +45,4 @@ pub use persist::RegistryBundle;
 pub use registry::{
     CalibrationEffort, Confidence, KernelPerfModel, MissingModelError, ModelRegistry,
 };
+pub use scaled::ScaledModel;

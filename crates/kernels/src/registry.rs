@@ -26,7 +26,7 @@ use crate::mlbased::MlKernelModel;
 /// to an uncalibrated datasheet roofline and *tags* the number as
 /// [`Confidence::Degraded`], so downstream reports can distinguish a
 /// trusted prediction from a best-effort estimate.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub enum Confidence {
     /// A model calibrated for the kernel's family produced the number.
     Calibrated,
@@ -320,6 +320,25 @@ impl ModelRegistry {
             }
         }
         out.into_iter().map(|v| v.expect("every kernel grouped")).collect()
+    }
+
+    /// Rewraps this registry with trace-fitted per-family scale factors
+    /// (see [`crate::scaled::ScaledModel`]): each named family's model
+    /// is multiplied by its factor, every other family is shared
+    /// untouched. The original registry is not modified — callers keep
+    /// the uncorrected registry for comparison reports.
+    ///
+    /// # Panics
+    /// Panics if a factor is non-positive or non-finite (the
+    /// [`crate::scaled::ScaledModel`] contract).
+    pub fn with_scale_factors(&self, factors: &[(KernelFamily, f64)]) -> Self {
+        let mut out = self.clone();
+        for &(family, scale) in factors {
+            if let Some(model) = self.models.get(&family) {
+                out.insert(family, Arc::new(crate::scaled::ScaledModel::new(model.clone(), scale)));
+            }
+        }
+        out
     }
 
     /// Runs the full analysis track against a device: microbenchmark sweeps,

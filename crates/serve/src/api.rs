@@ -10,8 +10,7 @@
 //! ([`prescreen`]): the vendored parser recurses on nested containers, so
 //! a 10 MB line of `[[[[…` would otherwise be a stack-overflow request.
 
-use std::io::{BufRead, Read};
-
+use dlperf_trace::screen;
 use serde::{Deserialize, Serialize};
 
 /// Longest request line the server will parse, in bytes.
@@ -283,103 +282,37 @@ impl Body {
 /// recurses per level), and interior NUL/control garbage that no valid
 /// request contains.
 ///
+/// The implementation is the shared [`dlperf_trace::screen`] helper also
+/// used by the trace-corpus ingest scanner; the wire constants above are
+/// this protocol's and are unchanged.
+///
 /// # Errors
 /// A static reason string suitable for a 400 response.
 pub fn prescreen(line: &str) -> Result<(), &'static str> {
-    if line.len() > MAX_LINE_BYTES {
-        return Err("request line exceeds size cap");
-    }
-    let mut depth = 0usize;
-    let mut in_str = false;
-    let mut escaped = false;
-    for b in line.bytes() {
-        if in_str {
-            if escaped {
-                escaped = false;
-            } else if b == b'\\' {
-                escaped = true;
-            } else if b == b'"' {
-                in_str = false;
-            }
-            continue;
-        }
-        match b {
-            b'"' => in_str = true,
-            b'[' | b'{' => {
-                depth += 1;
-                if depth > MAX_JSON_DEPTH {
-                    return Err("request nesting exceeds depth cap");
-                }
-            }
-            b']' | b'}' => depth = depth.saturating_sub(1),
-            0 => return Err("request contains NUL bytes"),
-            _ => {}
-        }
-    }
-    Ok(())
+    screen::prescreen_line(
+        line,
+        &screen::ScreenLimits { max_line_bytes: MAX_LINE_BYTES, max_json_depth: MAX_JSON_DEPTH },
+    )
 }
 
-/// Outcome of one [`read_bounded_line`] call.
-#[derive(Debug)]
-pub enum LineRead {
-    /// The stream ended cleanly.
-    Eof,
-    /// One complete line, trailing `\n`/`\r\n` stripped.
-    Line(String),
-    /// The line exceeded [`MAX_LINE_BYTES`]. Its remainder has already
-    /// been drained through the next newline (or EOF) in bounded memory,
-    /// so the caller can reject it and keep reading the stream.
-    Oversized,
-}
+/// Outcome of one [`read_bounded_line`] call (the shared
+/// [`dlperf_trace::screen::LineRead`], re-exported so existing
+/// `serve::api::LineRead` callers keep compiling).
+pub use dlperf_trace::screen::LineRead;
 
 /// Reads one protocol line while never buffering more than
 /// [`MAX_LINE_BYTES`] + 1 bytes, whatever the peer sends. This is the
 /// transport-side half of the hostile-input screen: [`prescreen`] checks
 /// a line it is handed, but only a capped read keeps a newline-less
 /// multi-gigabyte stream from exhausting memory before that check runs.
+/// Delegates to the shared [`dlperf_trace::screen`] reader with this
+/// protocol's cap.
 ///
 /// # Errors
 /// Propagates transport I/O errors; non-UTF-8 lines surface as
 /// `InvalidData`, matching what `BufRead::lines` would have produced.
 pub fn read_bounded_line<R: std::io::BufRead>(reader: &mut R) -> std::io::Result<LineRead> {
-    let mut buf = Vec::new();
-    let n = (&mut *reader).take(MAX_LINE_BYTES as u64 + 1).read_until(b'\n', &mut buf)?;
-    if n == 0 {
-        return Ok(LineRead::Eof);
-    }
-    if buf.last() == Some(&b'\n') {
-        buf.pop();
-        if buf.last() == Some(&b'\r') {
-            buf.pop();
-        }
-    } else if buf.len() > MAX_LINE_BYTES {
-        // The cap fired before a newline: skip to the end of this line
-        // chunk-by-chunk so the next read starts on a fresh line.
-        loop {
-            let chunk = reader.fill_buf()?;
-            if chunk.is_empty() {
-                break;
-            }
-            match chunk.iter().position(|&b| b == b'\n') {
-                Some(pos) => {
-                    reader.consume(pos + 1);
-                    break;
-                }
-                None => {
-                    let len = chunk.len();
-                    reader.consume(len);
-                }
-            }
-        }
-        return Ok(LineRead::Oversized);
-    }
-    match String::from_utf8(buf) {
-        Ok(line) => Ok(LineRead::Line(line)),
-        Err(_) => Err(std::io::Error::new(
-            std::io::ErrorKind::InvalidData,
-            "stream did not contain valid UTF-8",
-        )),
-    }
+    screen::read_bounded_line(reader, MAX_LINE_BYTES)
 }
 
 #[cfg(test)]

@@ -52,6 +52,20 @@ pub enum TraceLoadError {
     /// The JSON parsed, but carries values the analysis cannot safely use
     /// (non-finite timestamps, negative durations, …).
     Invalid(String),
+    /// Two events of the same category reuse one nonzero correlation id,
+    /// so launch→kernel attribution would be ambiguous. Strict loads
+    /// ([`Trace::from_json`]) reject the trace; lenient loads
+    /// ([`Trace::from_json_lenient`]) keep the last occurrence and count.
+    DuplicateCorrelation {
+        /// The category both events carry.
+        cat: EventCat,
+        /// The reused correlation id.
+        correlation: u64,
+        /// Event index of the first occurrence.
+        first: usize,
+        /// Event index of the duplicate.
+        second: usize,
+    },
 }
 
 impl std::fmt::Display for TraceLoadError {
@@ -59,6 +73,11 @@ impl std::fmt::Display for TraceLoadError {
         match self {
             TraceLoadError::Parse(e) => write!(f, "trace artifact is not valid JSON: {e}"),
             TraceLoadError::Invalid(why) => write!(f, "trace artifact rejected: {why}"),
+            TraceLoadError::DuplicateCorrelation { cat, correlation, first, second } => write!(
+                f,
+                "trace artifact rejected: events {first} and {second} (both {cat:?}) \
+                 reuse correlation id {correlation}"
+            ),
         }
     }
 }
@@ -67,7 +86,7 @@ impl std::error::Error for TraceLoadError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             TraceLoadError::Parse(e) => Some(e),
-            TraceLoadError::Invalid(_) => None,
+            TraceLoadError::Invalid(_) | TraceLoadError::DuplicateCorrelation { .. } => None,
         }
     }
 }
@@ -76,6 +95,13 @@ impl From<serde_json::Error> for TraceLoadError {
     fn from(e: serde_json::Error) -> Self {
         TraceLoadError::Parse(e)
     }
+}
+
+/// What a lenient load ([`Trace::from_json_lenient`]) had to repair.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LenientLoadReport {
+    /// Earlier occurrences dropped by last-wins correlation dedup.
+    pub dup_correlations: u64,
 }
 
 /// A trace of one training iteration.
@@ -105,16 +131,88 @@ impl Trace {
     }
 
     /// Deserializes from JSON, rejecting traces whose timing content would
-    /// poison downstream analysis.
+    /// poison downstream analysis. This is the *strict* load: a trace that
+    /// reuses a nonzero correlation id within one event category is
+    /// rejected rather than silently attributing two launches (or two
+    /// kernels) to one id. Fleet corpora that must tolerate such traces go
+    /// through [`Trace::from_json_lenient`] or the `ingest` scanner.
     ///
     /// # Errors
     /// [`TraceLoadError::Parse`] for malformed JSON; [`TraceLoadError::Invalid`]
     /// for parsed traces with non-finite timestamps, negative durations, or a
-    /// non-finite span.
+    /// non-finite span; [`TraceLoadError::DuplicateCorrelation`] for a reused
+    /// correlation id.
     pub fn from_json(s: &str) -> Result<Self, TraceLoadError> {
         let t: Trace = serde_json::from_str(s)?;
         t.validate()?;
+        t.check_duplicate_correlations()?;
         Ok(t)
+    }
+
+    /// Deserializes from JSON like [`Trace::from_json`], but resolves
+    /// duplicate correlation ids last-wins instead of erroring: for each
+    /// `(category, nonzero id)` pair only the final occurrence survives,
+    /// and the number of dropped earlier occurrences is returned. Timing
+    /// content is still validated strictly — leniency covers bookkeeping
+    /// ambiguity, never poisoned numbers.
+    ///
+    /// # Errors
+    /// [`TraceLoadError::Parse`] and [`TraceLoadError::Invalid`] as in the
+    /// strict load.
+    pub fn from_json_lenient(s: &str) -> Result<(Self, LenientLoadReport), TraceLoadError> {
+        let mut t: Trace = serde_json::from_str(s)?;
+        t.validate()?;
+        let dup_correlations = t.dedup_correlations_last_wins();
+        Ok((t, LenientLoadReport { dup_correlations }))
+    }
+
+    /// Strict half of the duplicate-correlation contract: errors on the
+    /// first `(category, nonzero correlation id)` pair that appears twice.
+    /// A `Runtime` launch and the `Kernel` it launched legitimately share
+    /// one id — only a reuse *within* a category is ambiguous.
+    ///
+    /// # Errors
+    /// [`TraceLoadError::DuplicateCorrelation`] naming both occurrences.
+    pub fn check_duplicate_correlations(&self) -> Result<(), TraceLoadError> {
+        let mut seen: std::collections::HashMap<(EventCat, u64), usize> =
+            std::collections::HashMap::new();
+        for (i, ev) in self.events.iter().enumerate() {
+            if ev.correlation == 0 {
+                continue;
+            }
+            if let Some(&first) = seen.get(&(ev.cat, ev.correlation)) {
+                return Err(TraceLoadError::DuplicateCorrelation {
+                    cat: ev.cat,
+                    correlation: ev.correlation,
+                    first,
+                    second: i,
+                });
+            }
+            seen.insert((ev.cat, ev.correlation), i);
+        }
+        Ok(())
+    }
+
+    /// Lenient half of the duplicate-correlation contract: for each
+    /// `(category, nonzero correlation id)` pair, keeps only the last
+    /// occurrence (in its own position) and returns how many earlier
+    /// occurrences were dropped. A no-op on clean traces.
+    pub fn dedup_correlations_last_wins(&mut self) -> u64 {
+        let mut last: std::collections::HashMap<(EventCat, u64), usize> =
+            std::collections::HashMap::new();
+        for (i, ev) in self.events.iter().enumerate() {
+            if ev.correlation != 0 {
+                last.insert((ev.cat, ev.correlation), i);
+            }
+        }
+        let before = self.events.len();
+        let mut i = 0usize;
+        self.events.retain(|ev| {
+            let keep = ev.correlation == 0 || last[&(ev.cat, ev.correlation)] == i;
+            i += 1;
+            keep
+        });
+        (before - self.events.len()) as u64
     }
 
     /// Checks that every timing field is usable by the analysis machinery.
@@ -244,6 +342,58 @@ mod tests {
             }
             other => panic!("expected Invalid error, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn strict_load_rejects_duplicate_correlation_within_category() {
+        let mut a = ev("launch", EventCat::Runtime, 0.0, 1.0);
+        a.correlation = 7;
+        let mut b = ev("launch", EventCat::Runtime, 2.0, 1.0);
+        b.correlation = 7;
+        let t = Trace { workload: "w".into(), device: "d".into(), events: vec![a, b], span_us: 3.0 };
+        match Trace::from_json(&t.to_json()) {
+            Err(TraceLoadError::DuplicateCorrelation { cat, correlation, first, second }) => {
+                assert_eq!(cat, EventCat::Runtime);
+                assert_eq!(correlation, 7);
+                assert_eq!((first, second), (0, 1));
+            }
+            other => panic!("expected DuplicateCorrelation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn runtime_kernel_pair_sharing_an_id_is_not_a_duplicate() {
+        let mut launch = ev("launch", EventCat::Runtime, 0.0, 1.0);
+        launch.correlation = 9;
+        let mut kernel = ev("k", EventCat::Kernel, 1.0, 2.0);
+        kernel.correlation = 9;
+        let t = Trace {
+            workload: "w".into(),
+            device: "d".into(),
+            events: vec![launch, kernel],
+            span_us: 3.0,
+        };
+        assert!(Trace::from_json(&t.to_json()).is_ok());
+    }
+
+    #[test]
+    fn lenient_load_keeps_last_occurrence_and_counts() {
+        let mut a = ev("first", EventCat::Runtime, 0.0, 1.0);
+        a.correlation = 3;
+        let b = ev("op", EventCat::Op, 0.5, 1.0);
+        let mut c = ev("last", EventCat::Runtime, 2.0, 1.0);
+        c.correlation = 3;
+        let t =
+            Trace { workload: "w".into(), device: "d".into(), events: vec![a, b, c], span_us: 3.0 };
+        let (back, report) = Trace::from_json_lenient(&t.to_json()).unwrap();
+        assert_eq!(report.dup_correlations, 1);
+        assert_eq!(back.events.len(), 2);
+        assert_eq!(back.events[0].name, "op");
+        assert_eq!(back.events[1].name, "last", "last occurrence wins, in its own position");
+        // A clean trace round-trips untouched.
+        let (clean, report) = Trace::from_json_lenient(&back.to_json()).unwrap();
+        assert_eq!(report.dup_correlations, 0);
+        assert_eq!(clean.events.len(), 2);
     }
 
     #[test]

@@ -44,13 +44,16 @@ pub mod gaps;
 pub mod event_tree;
 pub mod events;
 pub mod extract;
+pub mod ingest;
 pub mod overheads;
+pub mod screen;
 pub mod selftrace;
 pub mod stats;
 
 pub use breakdown::DeviceBreakdown;
 pub use engine::{EngineError, ExecutionEngine, RunResult};
-pub use events::{EventCat, Trace, TraceEvent, TraceLoadError};
+pub use events::{EventCat, LenientLoadReport, Trace, TraceEvent, TraceLoadError};
+pub use ingest::{FileIngest, FileReject, FileReport, IngestLimits, QuarantineReport};
 pub use extract::{OverheadStats, OverheadType};
 pub use overheads::OverheadProfile;
 pub use selftrace::ChromeTraceSink;

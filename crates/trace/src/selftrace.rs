@@ -119,6 +119,7 @@ impl ChromeTraceSink {
         let docs: Vec<Trace> = serde_json::from_str(s)?;
         for t in &docs {
             t.validate()?;
+            t.check_duplicate_correlations()?;
         }
         Ok(docs)
     }
