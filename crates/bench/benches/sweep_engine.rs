@@ -33,7 +33,8 @@ use std::time::Instant;
 use dlperf_bench::header;
 use dlperf_core::pipeline::Pipeline;
 use dlperf_core::sweep::{GraphMutation, Scenario, ScenarioMatrix, SweepEngine, SweepOutcome};
-use dlperf_gpusim::{DeviceSpec, KernelSpec};
+use dlperf_distrib::{CommModel, Topology};
+use dlperf_gpusim::{CollectiveKind, CollectiveSpec, DeviceSpec, KernelSpec};
 use dlperf_graph::OpKind;
 use dlperf_kernels::ModelRegistry;
 use dlperf_models::DlrmConfig;
@@ -295,6 +296,54 @@ fn main() {
          ({obs_overhead_pct:+.2}%), bitwise identical"
     );
 
+    // ---- Part 2d: α–β collective-model evaluation throughput.
+    //
+    // Every topology-axis sweep cell prices three collectives through
+    // `CommModel`; this measures how many such closed-form evaluations a
+    // second the model sustains across the full catalog. Echoed by the CI
+    // gate as context, never gated — the α–β forms are arithmetic, and a
+    // wall-clock floor on shared runners would only ever fire on noise.
+    let comm_models: Vec<CommModel> = [2usize, 4, 8]
+        .iter()
+        .flat_map(|&w| Topology::catalog(w).into_iter().map(CommModel::new))
+        .collect();
+    let comm_specs: Vec<CollectiveSpec> = (0..256u64)
+        .map(|i| CollectiveSpec {
+            kind: match i % 3 {
+                0 => CollectiveKind::AllReduce,
+                1 => CollectiveKind::AllToAll,
+                _ => CollectiveKind::AllGather,
+            },
+            bytes_per_rank: 1 << (10 + i % 17),
+            world: 0, // patched per model below
+        })
+        .collect();
+    let mut comms_ms = f64::INFINITY;
+    let mut comm_evals = 0usize;
+    for _ in 0..REPS {
+        let t0 = Instant::now();
+        let mut acc = 0.0f64;
+        let mut n = 0usize;
+        for model in &comm_models {
+            let world = model.topology().world() as u32;
+            for s in &comm_specs {
+                acc += model.collective_time(&CollectiveSpec { world, ..*s });
+                n += 1;
+            }
+        }
+        std::hint::black_box(acc);
+        comm_evals = n;
+        comms_ms = comms_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    let comms_evals_per_sec = comm_evals as f64 / (comms_ms / 1e3);
+    println!(
+        "\ncollective model: {} α–β evaluations over {} catalog topologies in {comms_ms:.2} ms \
+         ({:.2}M evals/s)",
+        comm_evals,
+        comm_models.len(),
+        comms_evals_per_sec / 1e6
+    );
+
     let mut doc: BTreeMap<String, String> = BTreeMap::new();
     doc.insert("scenarios".into(), scenarios.len().to_string());
     doc.insert("sweep_threads".into(), effective_threads.to_string());
@@ -322,6 +371,9 @@ fn main() {
     doc.insert("obs_off_ms".into(), format!("{off_ms:.3}"));
     doc.insert("obs_on_ms".into(), format!("{on_ms:.3}"));
     doc.insert("obs_overhead_pct".into(), format!("{obs_overhead_pct:.3}"));
+    doc.insert("comms_evals".into(), comm_evals.to_string());
+    doc.insert("comms_eval_ms".into(), format!("{comms_ms:.3}"));
+    doc.insert("comms_evals_per_sec".into(), format!("{comms_evals_per_sec:.0}"));
 
     let path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .join("../../BENCH_sweep.json");

@@ -27,10 +27,11 @@ const CEILINGS: [(&str, f64); 1] = [("obs_overhead_pct", 3.0)];
 /// Run-configuration keys echoed (never gated) so the log records the
 /// threading context the gated ratios were measured under, plus the
 /// trace-ingestion throughput/footprint keys from `BENCH_ingest.json`
-/// (echoed for the same reason: wall-clock and RSS on shared runners
-/// are too noisy to floor — the bounded-buffer invariant itself is
-/// asserted by tests, not this diff).
-const CONTEXT_KEYS: [&str; 7] = [
+/// and the α–β collective-model evaluation throughput from
+/// `BENCH_sweep.json` (echoed for the same reason: wall-clock and RSS
+/// on shared runners are too noisy to floor — the invariants those
+/// numbers ride on are asserted by tests, not this diff).
+const CONTEXT_KEYS: [&str; 9] = [
     "sweep_threads",
     "effective_threads",
     "host_threads",
@@ -38,6 +39,8 @@ const CONTEXT_KEYS: [&str; 7] = [
     "ingest_peak_buffer_bytes",
     "ingest_peak_rss_kib",
     "ingest_wall_ms",
+    "comms_evals_per_sec",
+    "comms_eval_ms",
 ];
 const DEFAULT_TOLERANCE: f64 = 0.10;
 

@@ -81,17 +81,32 @@ pub struct Scenario {
     pub device: usize,
     /// Rewrites applied to the base graph, in order.
     pub mutations: Vec<GraphMutation>,
+    /// Parallelism-strategy tag (`"hybrid"`, `"dp"`, `"mp"`, `"pp"`).
+    /// The single-GPU engine prices the cell identically regardless —
+    /// the tag is a pass-through axis that distributed consumers
+    /// (`dlperf-distrib`'s sharding sweeps, the serve recommender) expand
+    /// into actual strategy-parametrized jobs. Absent in old scenario
+    /// JSON and omitted when unset, so stored sweeps round-trip
+    /// unchanged.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub strategy: Option<String>,
 }
 
 impl Scenario {
     /// A scenario pricing the unmodified base graph on `device`.
     pub fn new(label: impl Into<String>, device: usize) -> Self {
-        Scenario { label: label.into(), device, mutations: Vec::new() }
+        Scenario { label: label.into(), device, mutations: Vec::new(), strategy: None }
     }
 
     /// Adds a mutation (builder style).
     pub fn with(mut self, m: GraphMutation) -> Self {
         self.mutations.push(m);
+        self
+    }
+
+    /// Tags the scenario with a parallelism strategy (builder style).
+    pub fn with_strategy(mut self, strategy: impl Into<String>) -> Self {
+        self.strategy = Some(strategy.into());
         self
     }
 }
@@ -104,6 +119,7 @@ pub struct ScenarioMatrix {
     devices: Vec<(String, usize)>,
     batches: Vec<u64>,
     variants: Vec<(String, Vec<GraphMutation>)>,
+    strategies: Vec<String>,
 }
 
 impl ScenarioMatrix {
@@ -130,6 +146,15 @@ impl ScenarioMatrix {
         self
     }
 
+    /// Adds parallelism-strategy axis entries (e.g. `"hybrid"`, `"dp"`).
+    /// A pass-through axis on the single-GPU engine (each tagged cell
+    /// prices identically); distributed consumers expand the tags into
+    /// strategy-parametrized jobs. Labels gain a `/{strategy}` suffix.
+    pub fn strategies(mut self, strategies: &[&str]) -> Self {
+        self.strategies.extend(strategies.iter().map(|s| s.to_string()));
+        self
+    }
+
     /// Enumerates the full cross product.
     pub fn build(&self) -> Vec<Scenario> {
         let variants: &[(String, Vec<GraphMutation>)] = if self.variants.is_empty() {
@@ -138,19 +163,34 @@ impl ScenarioMatrix {
             &self.variants
         };
         let batches: &[u64] = if self.batches.is_empty() { &[0] } else { &self.batches };
+        let strategies: &[Option<String>] = &if self.strategies.is_empty() {
+            vec![None]
+        } else {
+            self.strategies.iter().cloned().map(Some).collect::<Vec<_>>()
+        };
         let mut out = Vec::new();
         for (dev_name, dev) in &self.devices {
             for &b in batches {
                 for (var_name, muts) in variants {
-                    let mut mutations = Vec::new();
-                    let mut label = dev_name.clone();
-                    if b != 0 {
-                        mutations.push(GraphMutation::ResizeBatch(b));
-                        label.push_str(&format!("/b{b}"));
+                    for strategy in strategies {
+                        let mut mutations = Vec::new();
+                        let mut label = dev_name.clone();
+                        if b != 0 {
+                            mutations.push(GraphMutation::ResizeBatch(b));
+                            label.push_str(&format!("/b{b}"));
+                        }
+                        mutations.extend(muts.iter().cloned());
+                        label.push_str(&format!("/{var_name}"));
+                        if let Some(s) = strategy {
+                            label.push_str(&format!("/{s}"));
+                        }
+                        out.push(Scenario {
+                            label,
+                            device: *dev,
+                            mutations,
+                            strategy: strategy.clone(),
+                        });
                     }
-                    mutations.extend(muts.iter().cloned());
-                    label.push_str(&format!("/{var_name}"));
-                    out.push(Scenario { label, device: *dev, mutations });
                 }
             }
         }
@@ -1067,6 +1107,31 @@ mod tests {
         assert_eq!(scenarios[0].label, "V100/b128/base");
         assert_eq!(scenarios[7].label, "P100/b256/hoisted");
         assert_eq!(scenarios, m.build(), "enumeration is deterministic");
+        // No strategy axis → no tag, and serialized cells carry no key at
+        // all, so pre-axis sweep JSON round-trips unchanged.
+        assert!(scenarios.iter().all(|s| s.strategy.is_none()));
+        let json = serde_json::to_string(&scenarios[0]).unwrap();
+        assert!(!json.contains("strategy"), "{json}");
+        let back: Scenario = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, scenarios[0]);
+    }
+
+    #[test]
+    fn strategy_axis_tags_cells_and_extends_labels() {
+        let m = ScenarioMatrix::new()
+            .device("V100", 0)
+            .batches(&[128])
+            .strategies(&["hybrid", "dp"]);
+        let scenarios = m.build();
+        assert_eq!(scenarios.len(), 2);
+        assert_eq!(scenarios[0].label, "V100/b128/base/hybrid");
+        assert_eq!(scenarios[1].label, "V100/b128/base/dp");
+        assert_eq!(scenarios[1].strategy.as_deref(), Some("dp"));
+        // The tag is pass-through on this engine: identical pricing.
+        let (eng, g) = engine();
+        let out = eng.run_sequential(&g, &scenarios);
+        let b = bits(&out);
+        assert_eq!(b[0].1, b[1].1, "strategy tag must not change single-GPU pricing");
     }
 
     #[test]

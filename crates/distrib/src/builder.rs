@@ -8,15 +8,78 @@ use dlperf_models::DlrmConfig;
 use crate::plan::ShardingPlan;
 use crate::DistribError;
 
-/// A hybrid-parallel DLRM training job: configuration + world + sharding.
+/// How the DLRM job is split across the cluster. The paper's canonical
+/// scheme is [`ParallelismStrategy::Hybrid`]; the other strategies exist
+/// so sweeps can rank alternatives on the same topology and show *why*
+/// hybrid wins (or loses, on bandwidth-starved fabrics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum ParallelismStrategy {
+    /// Model-parallel embeddings + data-parallel MLPs (DLRM canonical):
+    /// two all-to-alls on embedding outputs, one all-reduce on MLP grads.
+    Hybrid,
+    /// Everything replicated: no all-to-all, but the all-reduce carries
+    /// MLP *and* embedding-output gradients.
+    DataParallel,
+    /// Everything sharded, full batch everywhere: all-to-alls but no
+    /// gradient all-reduce (each rank owns its parameters outright).
+    ModelParallel,
+    /// Stage-partitioned pipeline: per-boundary activation transfers
+    /// (modeled as all-gathers) and a pipeline-bubble compute inflation
+    /// of `(2w−1)/w`, no gradient all-reduce.
+    PipelineParallel,
+}
+
+impl ParallelismStrategy {
+    /// Every strategy, in canonical sweep order.
+    pub const ALL: [ParallelismStrategy; 4] = [
+        ParallelismStrategy::Hybrid,
+        ParallelismStrategy::DataParallel,
+        ParallelismStrategy::ModelParallel,
+        ParallelismStrategy::PipelineParallel,
+    ];
+
+    /// Parses a sweep-axis name (`hybrid`/`dp`/`mp`/`pp`, plus the long
+    /// spellings); `None` for anything unrecognized so callers can fall
+    /// back degraded-not-wrong.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name.to_ascii_lowercase().as_str() {
+            "hybrid" => Some(ParallelismStrategy::Hybrid),
+            "dp" | "data" | "data_parallel" | "data-parallel" => {
+                Some(ParallelismStrategy::DataParallel)
+            }
+            "mp" | "model" | "model_parallel" | "model-parallel" => {
+                Some(ParallelismStrategy::ModelParallel)
+            }
+            "pp" | "pipeline" | "pipeline_parallel" | "pipeline-parallel" => {
+                Some(ParallelismStrategy::PipelineParallel)
+            }
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for ParallelismStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ParallelismStrategy::Hybrid => "hybrid",
+            ParallelismStrategy::DataParallel => "dp",
+            ParallelismStrategy::ModelParallel => "mp",
+            ParallelismStrategy::PipelineParallel => "pp",
+        })
+    }
+}
+
+/// A distributed DLRM training job: configuration + world + sharding +
+/// parallelism strategy (hybrid unless overridden).
 #[derive(Debug, Clone)]
 pub struct DistributedDlrm {
     config: DlrmConfig,
     plan: ShardingPlan,
+    strategy: ParallelismStrategy,
 }
 
 impl DistributedDlrm {
-    /// Creates the distributed job description.
+    /// Creates the distributed job description (hybrid parallelism).
     ///
     /// # Errors
     /// * [`DistribError::BatchNotDivisible`] if the global batch cannot be
@@ -37,7 +100,31 @@ impl DistributedDlrm {
                 config.rows_per_table.len()
             )));
         }
-        Ok(DistributedDlrm { config, plan })
+        Ok(DistributedDlrm { config, plan, strategy: ParallelismStrategy::Hybrid })
+    }
+
+    /// Rebinds the job to a different parallelism strategy.
+    pub fn with_strategy(mut self, strategy: ParallelismStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// The active parallelism strategy.
+    pub fn strategy(&self) -> ParallelismStrategy {
+        self.strategy
+    }
+
+    /// Compute-time inflation of the strategy: 1 except for pipeline
+    /// parallelism, whose fill/drain bubble stretches every segment by
+    /// `(2w−1)/w` (w stages, one microbatch in flight per stage).
+    pub fn compute_inflation(&self) -> f64 {
+        match self.strategy {
+            ParallelismStrategy::PipelineParallel => {
+                let w = self.world() as f64;
+                (2.0 * w - 1.0) / w
+            }
+            _ => 1.0,
+        }
     }
 
     /// The model configuration.
@@ -81,8 +168,11 @@ impl DistributedDlrm {
         4 * (mlp(&self.config.bottom_mlp) + mlp(&top))
     }
 
-    /// The three collectives of one iteration, sized by the *largest* rank
-    /// payload (the straggler bounds a collective).
+    /// The three collectives of one iteration under the active strategy,
+    /// sized by the *largest* rank payload (the straggler bounds a
+    /// collective). Slots a strategy leaves unused carry zero bytes so
+    /// the timeline shape — and every downstream prediction layout —
+    /// stays fixed at `[C1, C2, C3]`.
     pub fn collectives(&self) -> [CollectiveSpec; 3] {
         let (b, d) = (self.config.batch_size, self.config.embedding_dim);
         let max_tables = (0..self.world())
@@ -91,19 +181,56 @@ impl DistributedDlrm {
             .unwrap_or(0);
         let a2a_bytes = b * max_tables * d * 4;
         let world = self.world() as u32;
+        let b_local = self.local_batch();
+        let t_total = self.config.num_tables();
+        let (c1, c2, c3) = match self.strategy {
+            ParallelismStrategy::Hybrid => {
+                (
+                    (CollectiveKind::AllToAll, a2a_bytes),
+                    (CollectiveKind::AllToAll, a2a_bytes),
+                    (CollectiveKind::AllReduce, self.mlp_param_bytes()),
+                )
+            }
+            // Replicated tables: no exchange on the forward/backward
+            // boundaries, one fat gradient all-reduce (MLP params plus the
+            // dense embedding-output gradients).
+            ParallelismStrategy::DataParallel => (
+                (CollectiveKind::AllToAll, 0),
+                (CollectiveKind::AllToAll, 0),
+                (
+                    CollectiveKind::AllReduce,
+                    self.mlp_param_bytes() + b_local * t_total * d * 4,
+                ),
+            ),
+            // Fully sharded: the all-to-alls remain, nothing is replicated
+            // so there is no gradient synchronization.
+            ParallelismStrategy::ModelParallel => (
+                (CollectiveKind::AllToAll, a2a_bytes),
+                (CollectiveKind::AllToAll, a2a_bytes),
+                (CollectiveKind::AllReduce, 0),
+            ),
+            // Stage boundaries move one activation tensor forward and its
+            // gradient backward; modeled as all-gathers of the per-stage
+            // activation slice.
+            ParallelismStrategy::PipelineParallel => (
+                (CollectiveKind::AllGather, b_local * d * 4),
+                (CollectiveKind::AllGather, b_local * d * 4),
+                (CollectiveKind::AllReduce, 0),
+            ),
+        };
         [
-            CollectiveSpec { kind: CollectiveKind::AllToAll, bytes_per_rank: a2a_bytes, world },
-            CollectiveSpec { kind: CollectiveKind::AllToAll, bytes_per_rank: a2a_bytes, world },
-            CollectiveSpec {
-                kind: CollectiveKind::AllReduce,
-                bytes_per_rank: self.mlp_param_bytes(),
-                world,
-            },
+            CollectiveSpec { kind: c1.0, bytes_per_rank: c1.1, world },
+            CollectiveSpec { kind: c2.0, bytes_per_rank: c2.1, world },
+            CollectiveSpec { kind: c3.0, bytes_per_rank: c3.1, world },
         ]
     }
 
     /// Builds `rank`'s four compute-segment graphs (S1–S4 of the iteration
-    /// timeline). Cross-segment tensors appear as external inputs of later
+    /// timeline) under the active strategy: hybrid runs MLPs on the local
+    /// batch and embeddings on the full batch over the plan's tables;
+    /// data/pipeline parallelism run *everything* on the local batch over
+    /// *all* tables; model parallelism runs the full batch over the plan's
+    /// tables. Cross-segment tensors appear as external inputs of later
     /// segments; only shapes matter for prediction and simulation.
     ///
     /// # Panics
@@ -111,14 +238,26 @@ impl DistributedDlrm {
     pub fn segments(&self, rank: usize) -> [Graph; 4] {
         assert!(rank < self.world(), "rank {rank} out of range");
         let cfg = &self.config;
-        let b_local = self.local_batch();
         let b = cfg.batch_size;
+        let b_local = match self.strategy {
+            ParallelismStrategy::ModelParallel => b,
+            _ => self.local_batch(),
+        };
+        let b_emb = match self.strategy {
+            ParallelismStrategy::Hybrid | ParallelismStrategy::ModelParallel => b,
+            _ => b_local,
+        };
         let d = cfg.embedding_dim;
         let l = cfg.lookups_per_table;
         let t_total = cfg.num_tables();
         let n_int = t_total + 1;
         let tri = n_int * (n_int - 1) / 2;
-        let rows = self.rank_rows(rank);
+        let rows = match self.strategy {
+            ParallelismStrategy::Hybrid | ParallelismStrategy::ModelParallel => {
+                self.rank_rows(rank)
+            }
+            _ => self.config.rows_per_table.clone(),
+        };
         let t_local = rows.len() as u64;
         let avg_rows = if rows.is_empty() {
             1
@@ -135,11 +274,11 @@ impl DistributedDlrm {
         s1.add_node("input::to_dense", OpKind::To { kind: MemcpyKind::HostToDevice }, vec![dense_cpu], vec![dense]);
         mlp_forward(&mut s1, "bot", dense, b_local, &cfg.bottom_mlp, true);
         if t_local > 0 {
-            let idx_cpu = s1.add_tensor(TensorMeta::index(&[t_local, b, l]));
-            let idx = s1.add_tensor(TensorMeta::index(&[t_local, b, l]));
+            let idx_cpu = s1.add_tensor(TensorMeta::index(&[t_local, b_emb, l]));
+            let idx = s1.add_tensor(TensorMeta::index(&[t_local, b_emb, l]));
             s1.add_node("input::to_indices", OpKind::To { kind: MemcpyKind::HostToDevice }, vec![idx_cpu], vec![idx]);
             let w = s1.add_tensor(TensorMeta::weight(&[t_local, avg_rows, d]));
-            let out = s1.add_tensor(TensorMeta::activation(&[b, t_local * d]));
+            let out = s1.add_tensor(TensorMeta::activation(&[b_emb, t_local * d]));
             s1.add_node("emb::batched_embedding", OpKind::BatchedEmbedding, vec![w, idx], vec![out]);
         }
 
@@ -192,8 +331,8 @@ impl DistributedDlrm {
         let mut s3 = Graph::new(format!("{}::rank{rank}::s3", cfg.name));
         if t_local > 0 {
             let w = s3.add_tensor(TensorMeta::weight(&[t_local, avg_rows, d]));
-            let idx = s3.add_tensor(TensorMeta::index(&[t_local, b, l]));
-            let g_local = s3.add_tensor(TensorMeta::activation(&[b, t_local * d]));
+            let idx = s3.add_tensor(TensorMeta::index(&[t_local, b_emb, l]));
+            let g_local = s3.add_tensor(TensorMeta::activation(&[b_emb, t_local * d]));
             s3.add_node(
                 "emb::batched_embedding_backward",
                 OpKind::BatchedEmbeddingBackward,
@@ -276,6 +415,47 @@ mod tests {
         assert_eq!(a2a.bytes_per_rank, 1024 * 7 * 64 * 4);
         assert_eq!(ar.kind, dlperf_gpusim::CollectiveKind::AllReduce);
         assert_eq!(ar.bytes_per_rank, j.mlp_param_bytes());
+    }
+
+    #[test]
+    fn strategies_shape_the_collectives() {
+        let j = job(4);
+        let dp = j.clone().with_strategy(ParallelismStrategy::DataParallel);
+        let [c1, c2, c3] = dp.collectives();
+        assert_eq!((c1.bytes_per_rank, c2.bytes_per_rank), (0, 0));
+        assert!(c3.bytes_per_rank > dp.mlp_param_bytes(), "DP all-reduce carries emb grads too");
+        let mp = j.clone().with_strategy(ParallelismStrategy::ModelParallel);
+        let [m1, _, m3] = mp.collectives();
+        assert!(m1.bytes_per_rank > 0);
+        assert_eq!(m3.bytes_per_rank, 0, "MP owns its parameters outright");
+        let pp = j.clone().with_strategy(ParallelismStrategy::PipelineParallel);
+        let [p1, _, p3] = pp.collectives();
+        assert_eq!(p1.kind, CollectiveKind::AllGather);
+        assert_eq!(p3.bytes_per_rank, 0);
+        assert!((pp.compute_inflation() - 7.0 / 4.0).abs() < 1e-12);
+        assert_eq!(j.compute_inflation(), 1.0);
+    }
+
+    #[test]
+    fn strategy_segments_build_and_lower_for_all_ranks() {
+        for strategy in ParallelismStrategy::ALL {
+            let j = job(2).with_strategy(strategy);
+            for rank in 0..2 {
+                for seg in j.segments(rank) {
+                    assert!(seg.validate().is_ok(), "{strategy}: {} invalid", seg.name);
+                    assert!(lower::lower_graph(&seg).is_ok(), "{strategy}: {} fails", seg.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn strategy_names_round_trip() {
+        for s in ParallelismStrategy::ALL {
+            assert_eq!(ParallelismStrategy::from_name(&s.to_string()), Some(s));
+        }
+        assert_eq!(ParallelismStrategy::from_name("Data-Parallel"), Some(ParallelismStrategy::DataParallel));
+        assert_eq!(ParallelismStrategy::from_name("warp"), None);
     }
 
     #[test]

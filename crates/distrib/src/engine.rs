@@ -17,10 +17,12 @@ use rand::SeedableRng;
 use rand_distr::{Distribution, LogNormal};
 
 use dlperf_faults::{FaultInjector, FaultPlan};
-use dlperf_gpusim::{collective, DeviceSpec};
+use dlperf_gpusim::DeviceSpec;
 use dlperf_trace::engine::{EngineError, ExecutionEngine};
 
 use crate::builder::DistributedDlrm;
+use crate::comms::CommModel;
+use crate::topology::Topology;
 
 /// Measured timeline of one distributed iteration.
 #[derive(Debug, Clone, PartialEq)]
@@ -96,6 +98,9 @@ pub struct MultiGpuEngine {
     rng: StdRng,
     profiling: bool,
     injector: Option<FaultInjector>,
+    /// Explicit interconnect topology; `None` derives one from the device
+    /// class per job (NVLink mesh or PCIe tree).
+    topology: Option<Topology>,
     /// Iteration counter keying per-iteration fault sites.
     iteration: u64,
     /// Wall-clock budget (µs) for collective retry penalties per
@@ -112,9 +117,22 @@ impl MultiGpuEngine {
             rng: StdRng::seed_from_u64(seed ^ 0xc0),
             profiling: false,
             injector: None,
+            topology: None,
             iteration: 0,
             retry_deadline_us: None,
         }
+    }
+
+    /// Pins the cluster to an explicit interconnect topology. A job whose
+    /// world does not match the topology falls back to the derived one
+    /// (and says so in the run's degradation notes) — degraded, not wrong.
+    pub fn set_topology(&mut self, topology: Option<Topology>) {
+        self.topology = topology;
+    }
+
+    /// The pinned topology, if any.
+    pub fn topology(&self) -> Option<&Topology> {
+        self.topology.as_ref()
     }
 
     /// Creates a cluster engine with a fault plan installed.
@@ -186,6 +204,26 @@ impl MultiGpuEngine {
 
         let world = job.world();
         let mut degradation = Vec::new();
+        let comm_model = CommModel::new(match &self.topology {
+            Some(t) if t.world() == world => t.clone(),
+            Some(t) => {
+                if iteration == 0 {
+                    degradation.push(format!(
+                        "topology `{}` is sized for world {}, job world is {world}; \
+                         using the derived device topology instead",
+                        t.label(),
+                        t.world()
+                    ));
+                }
+                Topology::for_device(&self.device, world)
+            }
+            None => Topology::for_device(&self.device, world),
+        });
+        if let Some(note) = comm_model.topology().degraded() {
+            if iteration == 0 {
+                degradation.push(note.to_string());
+            }
+        }
         let mut per_rank_us = vec![[0.0f64; 4]; world];
         for (rank, rank_us) in per_rank_us.iter_mut().enumerate() {
             let mut engine =
@@ -202,8 +240,11 @@ impl MultiGpuEngine {
                 }
                 engine.set_host_jitter(inj.host_jitter_us());
             }
+            // The pipeline bubble stretches every segment; ×1 for the
+            // other strategies, so the hybrid path is bitwise unchanged.
+            let inflation = job.compute_inflation();
             for (i, seg) in job.segments(rank).iter().enumerate() {
-                rank_us[i] = engine.run(seg)?.e2e_us;
+                rank_us[i] = engine.run(seg)?.e2e_us * inflation;
             }
         }
         let mut segment_us = [0.0f64; 4];
@@ -220,12 +261,33 @@ impl MultiGpuEngine {
         let mut retry_added_us = 0.0f64;
         let mut dropped_collectives = [false; 3];
         for (idx, (c, spec)) in comm_us.iter_mut().zip(&specs).enumerate() {
-            let base = collective::simulate(&self.device, spec) * jitter.sample(&mut self.rng);
-            *c = base;
-            // A single rank exchanges nothing; there is no wire to fail.
-            if spec.world <= 1 {
+            let jitter_factor = jitter.sample(&mut self.rng);
+            let mut model_us = comm_model.collective_time(spec);
+            // A single rank (or an empty payload) exchanges nothing;
+            // there is no wire to fail.
+            if spec.world <= 1 || spec.bytes_per_rank == 0 {
+                *c = model_us * jitter_factor;
                 continue;
             }
+            if let Some(inj) = &self.injector {
+                if let Some(factor) = inj.link_degradation(iteration, idx) {
+                    // Reprice on the derated fabric: latency unchanged,
+                    // every link's bandwidth scaled down — the α–β
+                    // semantics of a flapping or downtrained wire.
+                    model_us = CommModel::new(
+                        comm_model.topology().scaled_bandwidth(factor),
+                    )
+                    .collective_time(spec);
+                    crate::comms::record_link_fault();
+                    degradation.push(format!(
+                        "C{} {} link degraded ×{factor:.2} bandwidth",
+                        idx + 1,
+                        spec.kind
+                    ));
+                }
+            }
+            let base = model_us * jitter_factor;
+            *c = base;
             if let Some(inj) = &self.injector {
                 let outcome =
                     inj.collective_outcome_with_budget(iteration, idx, base, self.retry_deadline_us);

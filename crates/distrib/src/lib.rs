@@ -34,18 +34,23 @@
 //! load-balancing use case, end to end).
 
 pub mod builder;
+pub mod comms;
 pub mod engine;
 pub mod plan;
 pub mod predictor;
 pub mod sweep;
+pub mod topology;
 
-pub use builder::DistributedDlrm;
+pub use builder::{DistributedDlrm, ParallelismStrategy};
+pub use comms::{CollectiveEstimate, CommModel};
 pub use engine::{DistributedRunResult, MultiGpuEngine};
 pub use plan::ShardingPlan;
 pub use predictor::{DistributedPrediction, DistributedPredictor, SegmentBaselines};
 pub use sweep::{
-    enumerate_plans, sweep_shardings, ShardingResult, ShardingScenario, ShardingSweepOutcome,
+    enumerate_matrix, enumerate_plans, sweep_shardings, ShardingResult, ShardingScenario,
+    ShardingSweepOutcome,
 };
+pub use topology::{Topology, TopologyShape};
 
 /// Errors raised by distributed-model construction.
 #[derive(Debug, Clone, PartialEq, Eq)]

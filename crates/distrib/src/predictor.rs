@@ -7,11 +7,14 @@
 use dlperf_core::predictor::E2ePredictor;
 use dlperf_core::sweep::IncrementalSummary;
 use dlperf_core::IncrementalPredictor;
-use dlperf_gpusim::{collective, DeviceSpec};
+use dlperf_faults::{FaultInjector, FaultPlan};
+use dlperf_gpusim::DeviceSpec;
 use dlperf_graph::lower::LowerError;
 use dlperf_kernels::MemoCache;
 
 use crate::builder::DistributedDlrm;
+use crate::comms::CommModel;
+use crate::topology::Topology;
 
 /// Predicted timeline of one distributed iteration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -22,6 +25,10 @@ pub struct DistributedPrediction {
     pub segment_us: [f64; 4],
     /// Predicted per-collective time (µs).
     pub comm_us: [f64; 3],
+    /// Communication the overlap window hid under the next compute
+    /// segment (µs); already subtracted from `e2e_us`. Zero unless the
+    /// predictor was given an overlap fraction.
+    pub overlap_hidden_us: f64,
 }
 
 impl DistributedPrediction {
@@ -31,23 +38,54 @@ impl DistributedPrediction {
     }
 }
 
-/// Distributed predictor: a single-GPU predictor plus the device's
-/// interconnect parameters.
+/// Distributed predictor: a single-GPU predictor plus the cluster's
+/// interconnect topology (derived from the device class unless pinned).
 #[derive(Debug, Clone)]
 pub struct DistributedPredictor {
     predictor: E2ePredictor,
     device: DeviceSpec,
+    topology: Option<Topology>,
+    overlap_frac: f64,
 }
 
 impl DistributedPredictor {
     /// Wraps a calibrated single-GPU predictor for `device`.
     pub fn new(predictor: E2ePredictor, device: DeviceSpec) -> Self {
-        DistributedPredictor { predictor, device }
+        DistributedPredictor { predictor, device, topology: None, overlap_frac: 0.0 }
+    }
+
+    /// Pins the predictor to an explicit topology (builder style). A job
+    /// whose world does not match falls back to the derived device
+    /// topology — degraded, not wrong.
+    pub fn with_topology(mut self, topology: Topology) -> Self {
+        self.topology = Some(topology);
+        self
+    }
+
+    /// Sets the compute–communication overlap window (builder style):
+    /// collective `Cᵢ` may hide under up to `frac` of the following
+    /// compute segment `Sᵢ₊₁` (prefetch-style pipelining). The default 0
+    /// models the fully synchronous timeline the cluster engine measures.
+    ///
+    /// # Panics
+    /// Panics if `frac` is outside `[0, 1]`.
+    pub fn with_overlap(mut self, frac: f64) -> Self {
+        assert!((0.0..=1.0).contains(&frac), "overlap fraction must be in [0, 1], got {frac}");
+        self.overlap_frac = frac;
+        self
     }
 
     /// The underlying single-GPU predictor.
     pub fn single_gpu(&self) -> &E2ePredictor {
         &self.predictor
+    }
+
+    /// The topology `job`-sized collectives will be priced on.
+    pub fn topology_for(&self, world: usize) -> Topology {
+        match &self.topology {
+            Some(t) if t.world() == world => t.clone(),
+            _ => Topology::for_device(&self.device, world),
+        }
     }
 
     /// Predicts one distributed iteration of `job`.
@@ -139,17 +177,72 @@ impl DistributedPredictor {
     }
 
     /// Adds the collective phases and folds the timeline — shared by the
-    /// full and incremental paths so they cannot diverge.
+    /// full and incremental paths so they cannot diverge. Collectives are
+    /// priced by the α–β model on the resolved topology; the pipeline
+    /// bubble inflates compute; the overlap window (if any) hides each
+    /// collective under a slice of the next segment.
     fn assemble(&self, job: &DistributedDlrm, segment_us: [f64; 4]) -> DistributedPrediction {
+        let model = CommModel::new(self.topology_for(job.world()));
+        let inflation = job.compute_inflation();
+        let mut segment_us = segment_us;
+        for s in &mut segment_us {
+            *s *= inflation;
+        }
         let mut comm_us = [0.0f64; 3];
         for (c, spec) in comm_us.iter_mut().zip(&job.collectives()) {
-            *c = collective::simulate(&self.device, spec);
+            *c = model.collective_time(spec);
+        }
+        let mut overlap_hidden_us = 0.0;
+        if self.overlap_frac > 0.0 {
+            for (i, c) in comm_us.iter().enumerate() {
+                overlap_hidden_us += c.min(self.overlap_frac * segment_us[i + 1]);
+            }
         }
         DistributedPrediction {
-            e2e_us: segment_us.iter().sum::<f64>() + comm_us.iter().sum::<f64>(),
+            e2e_us: segment_us.iter().sum::<f64>() + comm_us.iter().sum::<f64>()
+                - overlap_hidden_us,
             segment_us,
             comm_us,
+            overlap_hidden_us,
         }
+    }
+
+    /// Like [`DistributedPredictor::predict`], then deterministically
+    /// degrades the communication phases under `plan`'s link faults
+    /// (iteration-0 sites, matching the engine's first iteration):
+    /// each degraded collective is repriced on the bandwidth-derated
+    /// topology and reported by name. The returned notes are empty when
+    /// the plan leaves the wires alone.
+    ///
+    /// # Errors
+    /// Propagates lowering errors from malformed segment graphs.
+    pub fn predict_with_faults(
+        &self,
+        job: &DistributedDlrm,
+        plan: &FaultPlan,
+    ) -> Result<(DistributedPrediction, Vec<String>), LowerError> {
+        let mut p = self.predict(job)?;
+        let inj = FaultInjector::new(plan.clone());
+        let topology = self.topology_for(job.world());
+        let mut notes = Vec::new();
+        for (idx, spec) in job.collectives().iter().enumerate() {
+            if spec.world <= 1 || spec.bytes_per_rank == 0 {
+                continue;
+            }
+            if let Some(factor) = inj.link_degradation(0, idx) {
+                let degraded =
+                    CommModel::new(topology.scaled_bandwidth(factor)).collective_time(spec);
+                p.e2e_us += degraded - p.comm_us[idx];
+                p.comm_us[idx] = degraded;
+                crate::comms::record_link_fault();
+                notes.push(format!(
+                    "C{} {} link degraded ×{factor:.2} bandwidth",
+                    idx + 1,
+                    spec.kind
+                ));
+            }
+        }
+        Ok((p, notes))
     }
 }
 

@@ -108,6 +108,35 @@ impl TraceFaultPlan {
     }
 }
 
+/// Interconnect degradation: a persistently derated link (dust in a
+/// connector, a downtrained PCIe lane) plus intermittent "flapping"
+/// (an NVLink renegotiating, briefly dropping to a fraction of its
+/// bandwidth). Evaluated per `(iteration, collective)` site, so the same
+/// plan degrades the same collectives on every replay.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkFaultPlan {
+    /// Persistent multiplier on every link's bandwidth, in `(0, 1]`
+    /// (0.5 = the classic half-bandwidth wire).
+    pub bandwidth_factor: f64,
+    /// Probability that a given `(iteration, collective)` hits a flap.
+    pub flap_prob: f64,
+    /// Extra bandwidth multiplier while flapping, in `(0, 1]`.
+    pub flap_factor: f64,
+}
+
+impl Default for LinkFaultPlan {
+    fn default() -> Self {
+        LinkFaultPlan { bandwidth_factor: 1.0, flap_prob: 0.0, flap_factor: 1.0 }
+    }
+}
+
+impl LinkFaultPlan {
+    /// Whether the plan degrades nothing.
+    pub fn is_healthy(&self) -> bool {
+        self.bandwidth_factor == 1.0 && (self.flap_prob == 0.0 || self.flap_factor == 1.0)
+    }
+}
+
 /// A corpus fault selected at one `(corpus, file)` site.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum TraceFault {
@@ -158,6 +187,9 @@ pub struct FaultPlan {
     /// Trace-corpus corruption for ingestion chaos. `None` means healthy,
     /// so plans serialized before this field existed still deserialize.
     pub trace: Option<TraceFaultPlan>,
+    /// Interconnect bandwidth degradation. `None` means healthy, so plans
+    /// serialized before this field existed still deserialize.
+    pub link: Option<LinkFaultPlan>,
 }
 
 impl Default for FaultPlan {
@@ -181,6 +213,7 @@ impl FaultPlan {
             backoff_base_us: 50.0,
             worker: None,
             trace: None,
+            link: None,
         }
     }
 
@@ -207,6 +240,11 @@ impl FaultPlan {
         });
         plan.host_jitter_us = 20.0 * intensity;
         plan.collective_drop_prob = 0.4 * intensity;
+        plan.link = Some(LinkFaultPlan {
+            bandwidth_factor: 1.0 - 0.4 * intensity,
+            flap_prob: 0.3 * intensity,
+            flap_factor: 0.5,
+        });
         plan
     }
 
@@ -303,6 +341,28 @@ impl FaultPlan {
         self
     }
 
+    /// Configures interconnect degradation (builder style).
+    ///
+    /// # Panics
+    /// Panics if `bandwidth_factor` or `flap_factor` is outside `(0, 1]`
+    /// or `flap_prob` is outside `[0, 1]`.
+    pub fn with_link_faults(
+        mut self,
+        bandwidth_factor: f64,
+        flap_prob: f64,
+        flap_factor: f64,
+    ) -> Self {
+        for (name, f) in [("bandwidth", bandwidth_factor), ("flap", flap_factor)] {
+            assert!(
+                f > 0.0 && f <= 1.0,
+                "link {name} factor must be in (0, 1], got {f}"
+            );
+        }
+        assert!((0.0..=1.0).contains(&flap_prob), "flap probability must be in [0, 1]");
+        self.link = Some(LinkFaultPlan { bandwidth_factor, flap_prob, flap_factor });
+        self
+    }
+
     /// Whether the plan injects any fault at all.
     pub fn is_healthy(&self) -> bool {
         self.stragglers.is_empty()
@@ -312,6 +372,7 @@ impl FaultPlan {
             && self.collective_drop_prob == 0.0
             && self.worker.is_none_or(|w| w.is_healthy())
             && self.trace.is_none_or(|t| t.is_healthy())
+            && self.link.is_none_or(|l| l.is_healthy())
     }
 }
 
@@ -340,6 +401,7 @@ struct InjectorCounters {
     collective_retries: dlperf_obs::CounterHandle,
     collective_drops: dlperf_obs::CounterHandle,
     trace_faults: dlperf_obs::CounterHandle,
+    link_faults: dlperf_obs::CounterHandle,
 }
 
 fn injector_counters() -> &'static InjectorCounters {
@@ -347,13 +409,20 @@ fn injector_counters() -> &'static InjectorCounters {
     G.get_or_init(|| {
         let group = dlperf_obs::CounterGroup::register(
             "faults.injector",
-            &["worker_faults", "collective_retries", "collective_drops", "trace_faults"],
+            &[
+                "worker_faults",
+                "collective_retries",
+                "collective_drops",
+                "trace_faults",
+                "link_faults",
+            ],
         );
         InjectorCounters {
             worker_faults: group.handle("worker_faults"),
             collective_retries: group.handle("collective_retries"),
             collective_drops: group.handle("collective_drops"),
             trace_faults: group.handle("trace_faults"),
+            link_faults: group.handle("link_faults"),
             _group: group,
         }
     })
@@ -537,6 +606,32 @@ impl FaultInjector {
         };
         record_collective(&outcome);
         outcome
+    }
+
+    /// Evaluates the link-degradation model at the stateless site
+    /// `(iteration, collective)`: the effective bandwidth multiplier the
+    /// interconnect runs at for that collective (persistent derating,
+    /// times the flap factor when the site's draw lands inside
+    /// `flap_prob`). Returns `None` when no link plan is configured or
+    /// the effective factor is exactly 1 — callers treat `None` as "wire
+    /// is healthy, price normally".
+    pub fn link_degradation(&self, iteration: u64, collective: usize) -> Option<f64> {
+        let l = self.plan.link?;
+        if l.is_healthy() {
+            return None;
+        }
+        let mut factor = l.bandwidth_factor.clamp(0.0, 1.0);
+        let flapping = l.flap_prob > 0.0
+            && self.unit(&[0x11CC_FA57, iteration, collective as u64]) < l.flap_prob;
+        if flapping {
+            factor *= l.flap_factor.clamp(0.0, 1.0);
+        }
+        if factor < 1.0 {
+            injector_counters().link_faults.incr();
+            Some(factor)
+        } else {
+            None
+        }
     }
 
     /// Evaluates the worker-fault model at the stateless site
@@ -919,6 +1014,37 @@ mod tests {
         // A generous budget reproduces the unbudgeted outcome exactly.
         let roomy = inj.collective_outcome_with_budget(2, 0, 50.0, Some(1e9));
         assert_eq!(roomy, unbudgeted);
+    }
+
+    #[test]
+    fn link_degradation_is_deterministic_and_bounded() {
+        let inj = FaultInjector::new(FaultPlan::healthy(21).with_link_faults(0.5, 0.5, 0.5));
+        let mut saw_flap = false;
+        for it in 0..50 {
+            for c in 0..3 {
+                let a = inj.link_degradation(it, c);
+                assert_eq!(a, inj.link_degradation(it, c), "same site, same factor");
+                let f = a.expect("a derated wire always degrades");
+                assert!(f == 0.5 || f == 0.25, "factor {f} outside the plan's reach");
+                if f == 0.25 {
+                    saw_flap = true;
+                }
+            }
+        }
+        assert!(saw_flap, "flap_prob=0.5 over 150 sites must flap at least once");
+        assert!(FaultInjector::new(FaultPlan::healthy(21)).link_degradation(0, 0).is_none());
+        assert!(!FaultPlan::healthy(0).with_link_faults(0.5, 0.0, 1.0).is_healthy());
+        assert!(
+            FaultPlan::healthy(0).with_link_faults(1.0, 0.5, 1.0).is_healthy(),
+            "flapping to full bandwidth degrades nothing"
+        );
+        assert!(FaultPlan::chaos(3, 0.5).link.is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth factor must be in (0, 1]")]
+    fn link_fault_factor_out_of_range_panics() {
+        FaultPlan::healthy(0).with_link_faults(1.5, 0.0, 1.0);
     }
 
     #[test]

@@ -195,6 +195,21 @@ impl DeviceSpec {
         self.interconnect_bw_gbs * 1e3
     }
 
+    /// The device's GPU-to-GPU link as an α–β [`crate::interconnect::LinkSpec`].
+    pub fn link(&self) -> crate::interconnect::LinkSpec {
+        crate::interconnect::LinkSpec::of(self)
+    }
+
+    /// Whether the device's peer link is NVLink-class (direct mesh links)
+    /// rather than PCIe-class (peer traffic through switches and the root
+    /// complex). The catalog's NVLink parts all sit well above 50 GB/s and
+    /// its PCIe parts well below, so the threshold classifies every known
+    /// device correctly and errs toward the congested (tree) shape for
+    /// unknown mid-range links — degraded, not wrong.
+    pub fn has_nvlink(&self) -> bool {
+        self.interconnect_bw_gbs >= 50.0
+    }
+
     /// A hypothetical variant with DRAM bandwidth scaled by `factor`
     /// (§V-A style "what if memory were faster" questions). The name is
     /// suffixed so sweep labels stay distinguishable.

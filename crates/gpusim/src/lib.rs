@@ -34,6 +34,7 @@ pub mod device;
 pub mod elementwise;
 pub mod embedding;
 pub mod gemm;
+pub mod interconnect;
 pub mod kernel;
 pub mod memory;
 pub mod noise;
@@ -42,6 +43,7 @@ pub mod transpose;
 
 pub use collective::{CollectiveKind, CollectiveSpec};
 pub use device::DeviceSpec;
+pub use interconnect::{CollectiveAlgo, Link, LinkGraph, LinkSpec};
 pub use kernel::{KernelFamily, KernelSpec, MemcpyKind};
 pub use noise::NoiseModel;
 pub use slowdown::{SlowdownProfile, ThermalWindow};

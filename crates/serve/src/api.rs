@@ -82,6 +82,17 @@ pub struct RecommendQuery {
     /// DLRM sharding world sizes to evaluate (ignored for non-DLRM
     /// models); empty skips the sharding axis.
     pub world_sizes: Vec<usize>,
+    /// Parallelism strategies for the multi-GPU axis (`"hybrid"`, `"dp"`,
+    /// `"mp"`, `"pp"`); empty means hybrid only. Only used with
+    /// `world_sizes`. Unknown names are a typed `NotFound` error.
+    #[serde(default)]
+    pub strategies: Vec<String>,
+    /// Interconnect topologies to price collectives on (`"auto"`,
+    /// `"nvlink"`, `"pcie"`, `"ib<N>x<G>"`); empty means the
+    /// device-derived default. Unknown names price conservatively and the
+    /// candidate is labeled degraded — never silently dropped.
+    #[serde(default)]
+    pub topologies: Vec<String>,
     /// Ranking objective.
     pub objective: Objective,
     /// Per-request deadline; the server default applies when absent.

@@ -314,6 +314,8 @@ mod tests {
                 devices: vec![],
                 max_latency_ms: None,
                 world_sizes: vec![],
+                strategies: vec![],
+                topologies: vec![],
                 objective: Objective::Latency,
                 deadline_ms: Some(60_000.0),
             }),
@@ -339,6 +341,8 @@ mod tests {
                 devices: vec!["v100".into()],
                 max_latency_ms: Some(floor_ms / 100.0),
                 world_sizes: vec![],
+                strategies: vec![],
+                topologies: vec![],
                 objective: Objective::Throughput,
                 deadline_ms: Some(60_000.0),
             }),
@@ -430,6 +434,8 @@ mod tests {
                 devices: vec!["v100".into(), "p100".into(), "tesla-v100".into()],
                 max_latency_ms: None,
                 world_sizes: vec![],
+                strategies: vec![],
+                topologies: vec![],
                 objective: Objective::Latency,
                 deadline_ms: Some(60_000.0),
             }),
@@ -464,6 +470,8 @@ mod tests {
                 devices: vec!["v100".into()],
                 max_latency_ms: None,
                 world_sizes: vec![2],
+                strategies: vec!["dp".into(), "hybrid".into()],
+                topologies: vec!["nvlink".into()],
                 objective: Objective::Latency,
                 deadline_ms: Some(120_000.0),
             }),
@@ -476,6 +484,71 @@ mod tests {
                     r.ranked.iter().map(|c| &c.reasoning).collect::<Vec<_>>()
                 );
                 assert!(r.ranked.iter().any(|c| c.sharding.is_none()));
+                // The matrix labels carry the pinned topology and both
+                // requested strategies.
+                let shardings: Vec<&str> = r
+                    .ranked
+                    .iter()
+                    .filter_map(|c| c.sharding.as_deref())
+                    .collect();
+                assert!(
+                    shardings.iter().any(|s| s.starts_with("nvlink/dp/")),
+                    "{shardings:?}"
+                );
+                assert!(
+                    shardings.iter().any(|s| s.starts_with("nvlink/hybrid/")),
+                    "{shardings:?}"
+                );
+            }
+            other => panic!("expected recommendation, got {other:?}"),
+        }
+
+        // An unknown strategy name is a typed error, like an unknown
+        // device; an unknown topology name still answers, degraded.
+        let resp = server.submit(Request {
+            id: 51,
+            op: Op::Recommend(RecommendQuery {
+                model: "dlrm-default".into(),
+                batches: vec![512],
+                devices: vec!["v100".into()],
+                max_latency_ms: None,
+                world_sizes: vec![2],
+                strategies: vec!["tensor-magic".into()],
+                topologies: vec![],
+                objective: Objective::Latency,
+                deadline_ms: Some(120_000.0),
+            }),
+        });
+        match resp.body {
+            Body::Error(e) => {
+                assert_eq!(e.code, 404);
+                assert!(e.message.contains("tensor-magic"), "{}", e.message);
+            }
+            other => panic!("expected 404, got {other:?}"),
+        }
+        let resp = server.submit(Request {
+            id: 52,
+            op: Op::Recommend(RecommendQuery {
+                model: "dlrm-default".into(),
+                batches: vec![512],
+                devices: vec!["v100".into()],
+                max_latency_ms: None,
+                world_sizes: vec![2],
+                strategies: vec![],
+                topologies: vec!["quantum-fabric".into()],
+                objective: Objective::Latency,
+                deadline_ms: Some(120_000.0),
+            }),
+        });
+        match resp.body {
+            Body::Recommendation(r) => {
+                assert!(
+                    r.ranked
+                        .iter()
+                        .filter_map(|c| c.sharding.as_deref())
+                        .any(|s| s.contains("degraded")),
+                    "unknown topologies must answer with a degraded label"
+                );
             }
             other => panic!("expected recommendation, got {other:?}"),
         }

@@ -8,7 +8,7 @@
 //! as the predictions it is built from.
 
 use dlperf_core::predictor::PredictError;
-use dlperf_distrib::{enumerate_plans, sweep_shardings, DistributedPredictor};
+use dlperf_distrib::{enumerate_matrix, sweep_shardings, DistributedPredictor, ParallelismStrategy};
 use dlperf_graph::memory;
 use dlperf_models::zoo;
 use dlperf_runtime::CancellationToken;
@@ -49,6 +49,32 @@ pub(crate) fn run(shared: &Shared, q: &RecommendQuery, token: &CancellationToken
         names
     };
     let batches: &[u64] = if q.batches.is_empty() { &DEFAULT_BATCHES } else { &q.batches };
+
+    // The multi-GPU axes resolve up front: strategy names are a closed
+    // vocabulary (unknown ones are a typed error, like unknown devices),
+    // while topology names always resolve — unknown ones price on the
+    // most conservative shape and surface as degraded candidates.
+    let mut strategies: Vec<ParallelismStrategy> = Vec::new();
+    for name in &q.strategies {
+        match ParallelismStrategy::from_name(name) {
+            Some(s) if !strategies.contains(&s) => strategies.push(s),
+            Some(_) => {}
+            None => {
+                return Body::error(
+                    ErrorCode::NotFound,
+                    format!("unknown parallelism strategy `{name}`"),
+                );
+            }
+        }
+    }
+    if strategies.is_empty() {
+        strategies.push(ParallelismStrategy::Hybrid);
+    }
+    let topology_names: Vec<&str> = if q.topologies.is_empty() {
+        vec!["auto"]
+    } else {
+        q.topologies.iter().map(String::as_str).collect()
+    };
 
     let mut ranked: Vec<ConfigChoice> = Vec::new();
     let mut rejected: Vec<RejectedConfig> = Vec::new();
@@ -128,8 +154,13 @@ pub(crate) fn run(shared: &Shared, q: &RecommendQuery, token: &CancellationToken
                         engine.pipeline.predictor().clone(),
                         device.clone(),
                     );
-                    let scenarios =
-                        enumerate_plans(config.rows_per_table.len(), &q.world_sizes);
+                    let scenarios = enumerate_matrix(
+                        config.rows_per_table.len(),
+                        &q.world_sizes,
+                        &strategies,
+                        &topology_names,
+                        &device,
+                    );
                     let outcome =
                         sweep_shardings(&predictor, &config, &scenarios, 1, token);
                     if token.is_cancelled() {
@@ -139,6 +170,11 @@ pub(crate) fn run(shared: &Shared, q: &RecommendQuery, token: &CancellationToken
                         );
                     }
                     for result in outcome.results.iter().flatten() {
+                        // A degraded cell still ranks, but says so.
+                        let label = match &result.degraded {
+                            Some(d) => format!("{} (degraded: {d})", result.label),
+                            None => result.label.clone(),
+                        };
                         match (&result.prediction, &result.error) {
                             (Some(p), _) => push_candidate(
                                 &mut ranked,
@@ -146,7 +182,7 @@ pub(crate) fn run(shared: &Shared, q: &RecommendQuery, token: &CancellationToken
                                 q,
                                 device_name,
                                 batch,
-                                Some(result.label.clone()),
+                                Some(label),
                                 p.e2e_us,
                             ),
                             (None, Some(e)) => rejected.push(RejectedConfig {

@@ -12,7 +12,7 @@
 //!    degrades that prediction, not the process.
 
 use dlperf_core::pipeline::{Pipeline, PipelineError};
-use dlperf_distrib::{DistributedDlrm, MultiGpuEngine, ShardingPlan};
+use dlperf_distrib::{DistributedDlrm, DistributedPredictor, MultiGpuEngine, ShardingPlan};
 use dlperf_faults::FaultPlan;
 use dlperf_gpusim::DeviceSpec;
 use dlperf_graph::{Graph, OpKind, TensorMeta};
@@ -133,6 +133,82 @@ fn dropped_collectives_degrade_instead_of_hanging() {
         "drops must be reported: {:?}",
         r.degradation
     );
+}
+
+#[test]
+fn link_degradation_is_deterministic_and_names_affected_collectives() {
+    // Halved bandwidth on every link, no flapping: every payload-bearing
+    // collective must reprice slower, deterministically, with the affected
+    // collectives named in the degradation report — the link-fault
+    // counterpart of `dropped_collectives_degrade_instead_of_hanging`.
+    let j = job(4, 1024);
+    let plan = FaultPlan::healthy(11).with_link_faults(0.5, 0.0, 1.0);
+    let run = |plan: FaultPlan| {
+        let mut e = MultiGpuEngine::with_faults(DeviceSpec::v100(), 19, plan);
+        e.run(&j).expect("link-faulted run succeeds")
+    };
+    let a = run(plan.clone());
+    assert_eq!(a, run(plan.clone()), "link faults must be bitwise deterministic");
+
+    let healthy = {
+        let mut e = MultiGpuEngine::with_faults(DeviceSpec::v100(), 19, FaultPlan::healthy(11));
+        e.run(&j).expect("healthy run succeeds")
+    };
+    assert!(
+        a.e2e_us > healthy.e2e_us,
+        "halved link bandwidth should hurt: {} vs {}",
+        a.e2e_us,
+        healthy.e2e_us
+    );
+    // Same seed, same jitter stream: the slowdown is exactly the comms.
+    for (i, (f, h)) in a.comm_us.iter().zip(&healthy.comm_us).enumerate() {
+        assert!(f >= h, "C{i}: faulted {f} faster than healthy {h}");
+    }
+    let named: Vec<&String> =
+        a.degradation.iter().filter(|d| d.contains("link degraded")).collect();
+    assert!(
+        !named.is_empty(),
+        "link faults must name affected collectives: {:?}",
+        a.degradation
+    );
+    assert!(
+        named.iter().any(|d| d.contains("all_to_all") || d.contains("all_reduce")),
+        "report should say which collective degraded: {named:?}"
+    );
+
+    // The analytic predictor degrades under the same plan, the same way:
+    // deterministic, slower, with the same style of report.
+    let cfg = DlrmConfig::default_config(1024);
+    let probe = DistributedDlrm::new(
+        cfg.clone(),
+        ShardingPlan::round_robin(cfg.rows_per_table.len(), 2),
+    )
+    .expect("probe job");
+    let device = DeviceSpec::v100();
+    let pipe = Pipeline::analyze(&device, &probe.segments(0), CalibrationEffort::Quick, 5, 31);
+    let predictor = DistributedPredictor::new(pipe.predictor().clone(), device);
+    let (p1, notes1) = predictor.predict_with_faults(&j, &plan).expect("faulted predict");
+    let (p2, notes2) = predictor.predict_with_faults(&j, &plan).expect("faulted predict");
+    assert_eq!(p1.e2e_us.to_bits(), p2.e2e_us.to_bits());
+    assert_eq!(notes1, notes2);
+    let clean = predictor.predict(&j).expect("clean predict");
+    assert!(p1.e2e_us > clean.e2e_us, "predictor must also slow down");
+    assert!(
+        notes1.iter().any(|n| n.contains("link degraded")),
+        "predictor must report affected collectives: {notes1:?}"
+    );
+
+    // Flapping links stay deterministic too: same plan, same bits.
+    let flappy = FaultPlan::healthy(12).with_link_faults(0.9, 0.5, 0.5);
+    let f1 = {
+        let mut e = MultiGpuEngine::with_faults(DeviceSpec::v100(), 23, flappy.clone());
+        e.run(&j).expect("flapping run succeeds")
+    };
+    let f2 = {
+        let mut e = MultiGpuEngine::with_faults(DeviceSpec::v100(), 23, flappy);
+        e.run(&j).expect("flapping run succeeds")
+    };
+    assert_eq!(f1, f2, "flapping must be seeded, not sampled from shared state");
 }
 
 #[test]

@@ -21,9 +21,14 @@ use std::path::PathBuf;
 
 use dlrm_perf_model::core::pipeline::Pipeline;
 use dlrm_perf_model::core::sweep::{GraphMutation, ScenarioMatrix, SweepEngine};
+use dlrm_perf_model::distrib::{
+    enumerate_plans, sweep_shardings, DistributedDlrm, DistributedPredictor,
+    ParallelismStrategy, ShardingPlan, Topology,
+};
 use dlrm_perf_model::gpusim::DeviceSpec;
 use dlrm_perf_model::kernels::CalibrationEffort;
 use dlrm_perf_model::models::DlrmConfig;
+use dlrm_perf_model::runtime::CancellationToken;
 
 fn hex(x: f64) -> String {
     format!("{:016x}", x.to_bits())
@@ -107,4 +112,46 @@ fn whatif_batch_and_device_sweep_is_bitwise_stable() {
         snap.insert(r.label.clone(), hex(p.e2e_us));
     }
     check_golden("whatif_batch_and_device.json", &snap);
+}
+
+#[test]
+fn hierarchical_ib_heterogeneous_sweep_is_bitwise_stable() {
+    // A heterogeneous fleet on a multi-node IB hierarchy — two V100s and
+    // two P100s, two per node — swept over every parallelism strategy and
+    // the three candidate sharding plans, pinned per cell. This is the
+    // deepest path through the α–β communication model: hierarchical
+    // allreduce selection, uplink-bounded crossings, and the slow card
+    // dragging the fleet's launch and bandwidth.
+    let cfg = DlrmConfig::default_config(512);
+    let tables = cfg.rows_per_table.len();
+    let probe = DistributedDlrm::new(cfg.clone(), ShardingPlan::round_robin(tables, 2))
+        .expect("probe job");
+    let device = DeviceSpec::v100();
+    let pipe = Pipeline::analyze(&device, &probe.segments(0), CalibrationEffort::Quick, 6, 29);
+    let predictor = DistributedPredictor::new(pipe.predictor().clone(), device);
+    let fleet = vec![
+        DeviceSpec::v100(),
+        DeviceSpec::v100(),
+        DeviceSpec::p100(),
+        DeviceSpec::p100(),
+    ];
+    let topology = Topology::multi_node_ib_heterogeneous(fleet, 2);
+    let mut scenarios = Vec::new();
+    for strategy in ParallelismStrategy::ALL {
+        for cell in enumerate_plans(tables, &[4]) {
+            scenarios.push(dlrm_perf_model::distrib::ShardingScenario {
+                label: format!("{}/{strategy}/{}", topology.label(), cell.label),
+                plan: cell.plan,
+                strategy,
+                topology: Some(topology.clone()),
+            });
+        }
+    }
+    let out = sweep_shardings(&predictor, &cfg, &scenarios, 4, &CancellationToken::new());
+    let mut snap = BTreeMap::new();
+    for r in out.results.iter().flatten() {
+        let p = r.prediction.as_ref().expect("every cell prices");
+        snap.insert(r.label.clone(), hex(p.e2e_us));
+    }
+    check_golden("distrib_hierarchical_ib.json", &snap);
 }

@@ -11,6 +11,10 @@ use std::sync::OnceLock;
 
 use dlrm_perf_model::core::pipeline::Pipeline;
 use dlrm_perf_model::core::sweep::{GraphMutation, ScenarioMatrix, SweepEngine, SweepOutcome};
+use dlrm_perf_model::distrib::{
+    enumerate_matrix, sweep_shardings, DistributedDlrm, DistributedPredictor,
+    ParallelismStrategy, ShardingPlan, ShardingSweepOutcome,
+};
 use dlrm_perf_model::gpusim::DeviceSpec;
 use dlrm_perf_model::graph::Graph;
 use dlrm_perf_model::kernels::CalibrationEffort;
@@ -151,6 +155,108 @@ proptest! {
                     want.prediction.as_ref().map(|p| p.e2e_us.to_bits())
                 );
             }
+        }
+    }
+}
+
+/// One shared distributed predictor for the topology-axis properties.
+fn distrib_base() -> &'static (DistributedPredictor, DlrmConfig) {
+    static BASE: OnceLock<(DistributedPredictor, DlrmConfig)> = OnceLock::new();
+    BASE.get_or_init(|| {
+        let cfg = DlrmConfig::default_config(512);
+        let probe = DistributedDlrm::new(
+            cfg.clone(),
+            ShardingPlan::round_robin(cfg.rows_per_table.len(), 2),
+        )
+        .unwrap();
+        let device = DeviceSpec::v100();
+        let pipe =
+            Pipeline::analyze(&device, &probe.segments(0), CalibrationEffort::Quick, 6, 23);
+        (DistributedPredictor::new(pipe.predictor().clone(), device), cfg)
+    })
+}
+
+/// Full bitwise fingerprint of a sharding sweep: labels, prediction bits,
+/// errors, degradation notes.
+#[allow(clippy::type_complexity)]
+fn distrib_fingerprint(
+    o: &ShardingSweepOutcome,
+) -> Vec<(String, Option<u64>, Option<String>, Option<String>)> {
+    o.results
+        .iter()
+        .map(|r| {
+            let r = r.as_ref().expect("complete run");
+            (
+                r.label.clone(),
+                r.prediction.as_ref().map(|p| p.e2e_us.to_bits()),
+                r.error.clone(),
+                r.degraded.clone(),
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The full `(topology × strategy × world × plan)` matrix prices
+    /// bitwise identically at 1, 2, and 8 threads — including the
+    /// degraded cells unknown topology names produce — and the shared
+    /// memo cache plus incremental baselines change nothing against the
+    /// plain uncached predictor.
+    #[test]
+    fn topology_axis_sweep_is_bitwise_stable_across_threads_and_cache(
+        topo_mask in 1usize..16,
+        strategy_mask in 1usize..16,
+    ) {
+        const TOPOLOGIES: [&str; 4] = ["auto", "nvlink", "ib2x2", "quantum-fabric"];
+        let topologies: Vec<&str> = TOPOLOGIES
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| topo_mask & (1 << i) != 0)
+            .map(|(_, &t)| t)
+            .collect();
+        let strategies: Vec<ParallelismStrategy> = ParallelismStrategy::ALL
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| strategy_mask & (1 << i) != 0)
+            .map(|(_, &s)| s)
+            .collect();
+        let (predictor, cfg) = distrib_base();
+        let scenarios = enumerate_matrix(
+            cfg.rows_per_table.len(),
+            &[2, 4],
+            &strategies,
+            &topologies,
+            &DeviceSpec::v100(),
+        );
+        let token = CancellationToken::new();
+        let reference =
+            distrib_fingerprint(&sweep_shardings(predictor, cfg, &scenarios, 1, &token));
+        for threads in [2usize, 8] {
+            let par = distrib_fingerprint(&sweep_shardings(
+                predictor, cfg, &scenarios, threads, &token,
+            ));
+            prop_assert_eq!(&par, &reference, "{} threads diverged", threads);
+        }
+        // Cache off: price each buildable cell alone through the plain
+        // (uncached, non-incremental) predictor. Bitwise identical.
+        for (scenario, got) in scenarios.iter().zip(&reference) {
+            let Ok(plan) = &scenario.plan else { continue };
+            let Ok(job) = DistributedDlrm::new(cfg.clone(), plan.clone())
+                .map(|j| j.with_strategy(scenario.strategy))
+            else {
+                continue;
+            };
+            let cell = match &scenario.topology {
+                Some(t) => predictor.clone().with_topology(t.clone()),
+                None => predictor.clone(),
+            };
+            let plain = cell.predict(&job).ok().map(|p| p.e2e_us.to_bits());
+            prop_assert_eq!(
+                plain, got.1,
+                "cache/incremental path diverged from plain predict on {}", got.0
+            );
         }
     }
 }
