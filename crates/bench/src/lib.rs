@@ -137,6 +137,59 @@ pub fn header(title: &str) {
     println!("{}", "=".repeat(78));
 }
 
+/// Per-side wall-clock statistics from [`interleave_ms`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SideTiming {
+    /// Fastest round — the side's actual cost with scheduler noise removed.
+    pub best_ms: f64,
+    /// Median round — robust central tendency for ratio metrics, so one
+    /// lucky round on either side cannot flip a comparison.
+    pub median_ms: f64,
+}
+
+/// Interleaved measurement harness: runs every side once per round, for
+/// `reps` rounds, and reports each side's best and median wall-clock.
+///
+/// Interleaving is the point — on a shared box a scheduling hiccup lands
+/// on one *round*, not on one whole side, so comparing medians (ratios) or
+/// bests (costs) across sides measures the paths' actual cost difference
+/// rather than which side ran during the hiccup. This is the harness every
+/// speedup/overhead number in the bench suite goes through; one-shot
+/// timing is what produced physically impossible numbers like a negative
+/// recorder overhead in earlier baselines.
+pub fn interleave_ms(reps: usize, sides: &mut [&mut dyn FnMut()]) -> Vec<SideTiming> {
+    assert!(reps > 0, "at least one round");
+    let mut samples = vec![Vec::with_capacity(reps); sides.len()];
+    for _ in 0..reps {
+        for (side, times) in sides.iter_mut().zip(&mut samples) {
+            let t0 = std::time::Instant::now();
+            side();
+            times.push(t0.elapsed().as_secs_f64() * 1e3);
+        }
+    }
+    samples
+        .into_iter()
+        .map(|times| SideTiming { best_ms: best(&times), median_ms: median(times) })
+        .collect()
+}
+
+/// Minimum of a non-empty sample set.
+fn best(xs: &[f64]) -> f64 {
+    xs.iter().copied().fold(f64::INFINITY, f64::min)
+}
+
+/// Median of a non-empty sample set (mean of the middle pair when even).
+pub fn median(mut xs: Vec<f64>) -> f64 {
+    assert!(!xs.is_empty(), "median of nothing");
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    let mid = xs.len() / 2;
+    if xs.len() % 2 == 1 {
+        xs[mid]
+    } else {
+        (xs[mid - 1] + xs[mid]) / 2.0
+    }
+}
+
 /// Compares a freshly generated bench JSON against a committed baseline:
 /// for every listed key present in **both** documents, the fresh value must
 /// not fall more than `tolerance` (fractional, e.g. 0.10) below the
@@ -144,6 +197,15 @@ pub fn header(title: &str) {
 /// metrics do not fail against historical baselines, and retired metrics do
 /// not block fresh runs. Values may be JSON numbers or stringified numbers
 /// (the bench emitters write strings).
+///
+/// `guard_keys` makes the diff like-for-like: when any guard key (run
+/// configuration such as `sweep_threads`) differs between the two
+/// documents, every gated key is skipped with a notice instead of being
+/// compared — a speedup measured at one worker count floored against a
+/// baseline measured at another is a confound, not a regression. A guard
+/// key absent from exactly one side also counts as a difference (the run
+/// configuration cannot be confirmed equal); absent from both is no
+/// information and the comparison proceeds.
 ///
 /// Returns the per-key report lines on success, the failures otherwise.
 ///
@@ -155,12 +217,32 @@ pub fn check_regression(
     fresh_json: &str,
     keys: &[&str],
     tolerance: f64,
+    guard_keys: &[&str],
 ) -> Result<Vec<String>, Vec<String>> {
     let parse = |name: &str, doc: &str| {
         serde::value::parse(doc).map_err(|e| vec![format!("{name}: unparseable JSON: {e}")])
     };
     let baseline = parse("baseline", baseline_json)?;
     let fresh = parse("fresh", fresh_json)?;
+    let text = |doc: &serde::Value, key: &str| -> Option<String> {
+        let v = doc.get(key)?;
+        v.as_str().map(str::to_string).or_else(|| v.as_f64().map(|n| format!("{n}")))
+    };
+    if let Some(guard) = guard_keys
+        .iter()
+        .find(|&&k| text(&baseline, k) != text(&fresh, k))
+    {
+        let show = |v: Option<String>| v.unwrap_or_else(|| "absent".into());
+        let why = format!(
+            "context `{guard}` changed: baseline {}, fresh {}",
+            show(text(&baseline, guard)),
+            show(text(&fresh, guard)),
+        );
+        return Ok(keys
+            .iter()
+            .map(|key| format!("{key}: gate skipped ({why})"))
+            .collect());
+    }
     let number = |doc: &serde::Value, key: &str| -> Option<f64> {
         let v = doc.get(key)?;
         v.as_f64().or_else(|| v.as_str()?.trim().parse().ok())
@@ -236,6 +318,56 @@ pub fn check_ceilings(
     }
 }
 
+/// Checks absolute floors on a fresh bench JSON: for every `(key, min)`
+/// pair whose key is present, the fresh value must not fall below `min`.
+/// Keys absent from the document are skipped (reported), so the gate keeps
+/// working on hosts that cannot produce a metric — e.g.
+/// `parallel_efficiency_t4` is only emitted when the host has ≥ 4 cores.
+/// Values may be JSON numbers or stringified numbers, like
+/// [`check_regression`].
+///
+/// This is the benefit-floor side of the gate, independent of any
+/// baseline: ratios that justify a code path's existence (`batched_speedup`,
+/// the per-thread parallel efficiencies) must clear an absolute bar on
+/// every run, so the path can never silently regress below its scalar or
+/// sequential alternative the way a baseline-relative diff would allow by
+/// ratcheting downward.
+///
+/// # Errors
+/// Returns the failure lines when any metric falls below its floor, or
+/// when the document fails to parse.
+pub fn check_floors(
+    fresh_json: &str,
+    floors: &[(&str, f64)],
+) -> Result<Vec<String>, Vec<String>> {
+    let fresh = serde::value::parse(fresh_json)
+        .map_err(|e| vec![format!("fresh: unparseable JSON: {e}")])?;
+    let number = |doc: &serde::Value, key: &str| -> Option<f64> {
+        let v = doc.get(key)?;
+        v.as_f64().or_else(|| v.as_str()?.trim().parse().ok())
+    };
+    let mut report = Vec::new();
+    let mut failures = Vec::new();
+    for &(key, min) in floors {
+        let Some(value) = number(&fresh, key) else {
+            report.push(format!("{key}: skipped (missing)"));
+            continue;
+        };
+        let line = format!("{key}: {value:.3}, floor {min:.3}");
+        if value < min {
+            failures.push(format!("BELOW FLOOR {line}"));
+        } else {
+            report.push(format!("ok {line}"));
+        }
+    }
+    if failures.is_empty() {
+        Ok(report)
+    } else {
+        failures.extend(report);
+        Err(failures)
+    }
+}
+
 /// Reports non-gated context keys from both bench documents — run
 /// configuration like `sweep_threads` that explains *why* the gated ratios
 /// moved without ever failing the gate itself. A threading change between
@@ -272,14 +404,86 @@ mod tests {
         let baseline = r#"{"speedup":"2.0","memo_speedup":"3.0","other":"x"}"#;
         let ok_fresh = r#"{"speedup":"1.9","memo_speedup":"9.9"}"#;
         let keys = ["speedup", "memo_speedup", "incremental_speedup"];
-        let report = super::check_regression(baseline, ok_fresh, &keys, 0.10).expect("within");
+        let report =
+            super::check_regression(baseline, ok_fresh, &keys, 0.10, &[]).expect("within");
         assert!(report.iter().any(|l| l.contains("incremental_speedup: skipped")));
 
         let bad_fresh = r#"{"speedup":"1.7","memo_speedup":"3.0"}"#;
-        let failures = super::check_regression(baseline, bad_fresh, &keys, 0.10).unwrap_err();
+        let failures =
+            super::check_regression(baseline, bad_fresh, &keys, 0.10, &[]).unwrap_err();
         assert!(failures[0].contains("REGRESSION speedup"), "{failures:?}");
 
-        assert!(super::check_regression("not json", ok_fresh, &keys, 0.1).is_err());
+        assert!(super::check_regression("not json", ok_fresh, &keys, 0.1, &[]).is_err());
+    }
+
+    #[test]
+    fn regression_gate_skips_when_context_guard_differs() {
+        // A would-be regression (1.7 < 2.0 floor) measured under a different
+        // thread count is a confound, not a failure: every gated key is
+        // skipped with the guard named in the notice.
+        let baseline = r#"{"speedup":"2.0","sweep_threads":"1"}"#;
+        let fresh = r#"{"speedup":"1.7","sweep_threads":"4"}"#;
+        let keys = ["speedup"];
+        let guards = ["sweep_threads"];
+        let report =
+            super::check_regression(baseline, fresh, &keys, 0.10, &guards).expect("skipped");
+        assert!(
+            report[0].contains("gate skipped")
+                && report[0].contains("sweep_threads")
+                && report[0].contains("baseline 1, fresh 4"),
+            "{report:?}"
+        );
+
+        // A guard key missing on one side cannot confirm like-for-like.
+        let old = r#"{"speedup":"2.0"}"#;
+        let report =
+            super::check_regression(old, fresh, &keys, 0.10, &guards).expect("skipped");
+        assert!(report[0].contains("baseline absent, fresh 4"), "{report:?}");
+
+        // Matching guards still gate, and guards absent from both sides
+        // carry no information, so the comparison proceeds (and fails).
+        let same = r#"{"speedup":"1.7","sweep_threads":"1"}"#;
+        let failures =
+            super::check_regression(baseline, same, &keys, 0.10, &guards).unwrap_err();
+        assert!(failures[0].contains("REGRESSION speedup"), "{failures:?}");
+        assert!(super::check_regression(old, r#"{"speedup":"1.7"}"#, &keys, 0.10, &guards)
+            .is_err());
+    }
+
+    #[test]
+    fn floor_gate_requires_minimums_and_skips_missing_keys() {
+        let floors = [("batched_speedup", 1.15), ("parallel_efficiency_t4", 0.25)];
+        let ok = r#"{"batched_speedup":"1.31"}"#;
+        let report = super::check_floors(ok, &floors).expect("above floor");
+        assert!(report.iter().any(|l| l.contains("ok batched_speedup")));
+        assert!(report.iter().any(|l| l.contains("parallel_efficiency_t4: skipped")));
+
+        let under = r#"{"batched_speedup":"0.889"}"#;
+        let failures = super::check_floors(under, &floors).unwrap_err();
+        assert!(failures[0].contains("BELOW FLOOR batched_speedup"), "{failures:?}");
+
+        assert!(super::check_floors("not json", &floors).is_err());
+    }
+
+    #[test]
+    fn interleave_harness_reports_best_and_median_per_side() {
+        let mut fast_calls = 0usize;
+        let mut slow_calls = 0usize;
+        let mut fast = || fast_calls += 1;
+        let mut slow = || {
+            slow_calls += 1;
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        };
+        let timings = super::interleave_ms(5, &mut [&mut fast, &mut slow]);
+        assert_eq!((fast_calls, slow_calls), (5, 5));
+        assert_eq!(timings.len(), 2);
+        for t in &timings {
+            assert!(t.best_ms <= t.median_ms, "{t:?}");
+        }
+        assert!(timings[1].median_ms > timings[0].median_ms, "{timings:?}");
+
+        assert_eq!(super::median(vec![3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(super::median(vec![4.0, 1.0, 2.0, 3.0]), 2.5);
     }
 
     #[test]

@@ -36,9 +36,10 @@
 use dlperf_graph::lower::{self, LowerError};
 use dlperf_graph::{common_affix, Graph};
 use dlperf_gpusim::KernelSpec;
-use dlperf_kernels::{Confidence, MemoCache};
+use dlperf_kernels::{Confidence, MemoCache, MemoScratch};
+use dlperf_nn::arena::ScratchArena;
 
-use crate::predictor::{E2ePredictor, NodeCosts, Prediction, WalkState};
+use crate::predictor::{E2ePredictor, NodeCosts, Prediction, WalkScratch, WalkState};
 
 /// What one incremental re-prediction did, for observability and bench
 /// accounting. All node counts refer to the *new* graph.
@@ -237,6 +238,25 @@ impl IncrementalPredictor {
         graph: &Graph,
         cache: Option<&MemoCache>,
     ) -> Result<(Prediction, IncrementalStats), LowerError> {
+        let mut scratch = WalkScratch::new();
+        self.repredict_scratch(graph, cache, &mut scratch)
+    }
+
+    /// [`IncrementalPredictor::repredict`] staging every intermediate —
+    /// dirty-frontier specs, ranges, overheads and values, the replayed
+    /// walk states, memo probing and MLP forward buffers — in `scratch`,
+    /// so steady-state re-predictions of same-shaped mutations allocate
+    /// nothing. Bitwise identical to the owning path: the same evaluator,
+    /// the same recorded-write replay, the same frozen stepping sequence.
+    ///
+    /// # Errors
+    /// Returns a [`LowerError`] if a dirty node is malformed.
+    pub fn repredict_scratch(
+        &self,
+        graph: &Graph,
+        cache: Option<&MemoCache>,
+        scratch: &mut WalkScratch,
+    ) -> Result<(Prediction, IncrementalStats), LowerError> {
         let _span = dlperf_obs::span("incremental.repredict", dlperf_obs::SpanKind::Work);
         let n_base = self.base.node_count();
         let n_new = graph.node_count();
@@ -260,36 +280,41 @@ impl IncrementalPredictor {
         }
 
         // Lower and price the dirty frontier in one batched evaluation.
-        let mut specs: Vec<KernelSpec> = Vec::new();
-        let mut ranges: Vec<std::ops::Range<usize>> = Vec::with_capacity(dirty_end - prefix);
+        scratch.specs.clear();
+        scratch.ranges.clear();
+        scratch.oh.clear();
+        scratch.values.clear();
         for node in &graph.nodes()[prefix..dirty_end] {
-            let start = specs.len();
-            specs.extend(lower::try_kernels(graph, node)?);
-            ranges.push(start..specs.len());
+            let start = scratch.specs.len();
+            scratch.specs.extend(lower::try_kernels(graph, node)?);
+            scratch.ranges.push(start..scratch.specs.len());
+            scratch.oh.push(self.predictor.overheads_of(node.op.overhead_key()));
         }
-        let mut values = eval(&self.predictor, cache, &specs).into_iter();
-        let dirty_costs: Vec<NodeCosts> = graph.nodes()[prefix..dirty_end]
-            .iter()
-            .zip(ranges)
-            .map(|(node, r)| {
-                let kernels: Vec<(f64, Confidence)> = values.by_ref().take(r.len()).collect();
-                self.predictor.node_cost(node.op.overhead_key(), kernels)
-            })
-            .collect();
+        eval_into(
+            &self.predictor,
+            cache,
+            &scratch.specs,
+            &mut scratch.memo,
+            &mut scratch.arena,
+            &mut scratch.values,
+        );
 
         // Replay the recorded prefix state, then walk the dirty span.
-        let mut state = self.state_at(prefix);
+        self.state_at_into(prefix, &mut scratch.state);
         let gap = self.predictor.kernel_gap();
         let launch = self.predictor.launch();
-        for (node, c) in graph.nodes()[prefix..dirty_end].iter().zip(&dirty_costs) {
-            state.step(node, c, gap, launch);
+        for ((node, r), oh) in
+            graph.nodes()[prefix..dirty_end].iter().zip(&scratch.ranges).zip(&scratch.oh)
+        {
+            scratch.state.step_parts(node, oh, &scratch.values[r.clone()], gap, launch);
         }
 
         if suffix > 0 {
             // Splice: if the state at the suffix boundary reconverged to the
             // baseline's bit for bit, the suffix walk would reproduce the
             // baseline's tail exactly — skip it.
-            if self.splice_matches(&state, n_base - suffix, graph, dirty_end) {
+            self.state_at_into(n_base - suffix, &mut scratch.base_state);
+            if splice_matches(&scratch.state, &scratch.base_state, graph, dirty_end) {
                 stats.spliced = true;
                 stats.record();
                 return Ok((self.prediction, stats));
@@ -297,19 +322,20 @@ impl IncrementalPredictor {
             // Otherwise walk the suffix, reusing its baseline cost bundles
             // (pure in the unchanged signatures).
             for (j, node) in graph.nodes().iter().enumerate().skip(dirty_end) {
-                state.step(node, &self.costs[j + n_base - n_new], gap, launch);
+                scratch.state.step(node, &self.costs[j + n_base - n_new], gap, launch);
             }
         }
         stats.record();
-        Ok((state.finish(), stats))
+        Ok((scratch.state.finish(), stats))
     }
 
     /// Reconstructs the walk state after baseline nodes `0..upto` by
     /// restoring the recorded scalars and replaying the recorded stream and
     /// tensor-readiness writes — the exact values the full walk inserted,
-    /// in the same last-write-wins order.
-    fn state_at(&self, upto: usize) -> WalkState {
-        let mut state = WalkState::new();
+    /// in the same last-write-wins order. Writes into `state` (reset
+    /// first), reusing its container capacities.
+    fn state_at_into(&self, upto: usize, state: &mut WalkState) {
+        state.reset();
         if upto > 0 {
             state.cpu = self.cpu_after[upto - 1];
             state.active = self.active_after[upto - 1];
@@ -327,47 +353,44 @@ impl IncrementalPredictor {
                 state.set_ready(out, ready);
             }
         }
-        state
     }
+}
 
-    /// Whether `state` (the incremental walk's state entering the suffix at
-    /// new-graph node `suffix_start`) matches the baseline's recorded state
-    /// entering its suffix at node `i0` — on every quantity the suffix walk
-    /// or the final [`WalkState::finish`] can observe.
-    fn splice_matches(
-        &self,
-        state: &WalkState,
-        i0: usize,
-        graph: &Graph,
-        suffix_start: usize,
-    ) -> bool {
-        let base_state = self.state_at(i0);
-        if state.cpu.to_bits() != base_state.cpu.to_bits()
-            || state.active.to_bits() != base_state.active.to_bits()
-            || state.degraded != base_state.degraded
-            || state.streams.len() != base_state.streams.len()
-        {
-            return false;
-        }
-        // Every stream clock feeds `finish()`'s max, so all must match.
-        for &(stream, clock) in &state.streams {
-            match base_state.stream_clock(stream) {
-                Some(b) if b.to_bits() == clock.to_bits() => {}
-                _ => return false,
-            }
-        }
-        // Only tensors a suffix node reads can influence the tail; their
-        // readiness (or absence) must agree. Stricter than necessary for
-        // tensors rewritten inside the suffix before being read — safe.
-        for node in &graph.nodes()[suffix_start..] {
-            for t in &node.inputs {
-                if state.ready_bits(*t) != base_state.ready_bits(*t) {
-                    return false;
-                }
-            }
-        }
-        true
+/// Whether `state` (the incremental walk's state entering the suffix) and
+/// `base_state` (the baseline's recorded state entering *its* suffix)
+/// match on every quantity the suffix walk starting at new-graph node
+/// `suffix_start` or the final [`WalkState::finish`] can observe.
+fn splice_matches(
+    state: &WalkState,
+    base_state: &WalkState,
+    graph: &Graph,
+    suffix_start: usize,
+) -> bool {
+    if state.cpu.to_bits() != base_state.cpu.to_bits()
+        || state.active.to_bits() != base_state.active.to_bits()
+        || state.degraded != base_state.degraded
+        || state.streams.len() != base_state.streams.len()
+    {
+        return false;
     }
+    // Every stream clock feeds `finish()`'s max, so all must match.
+    for &(stream, clock) in &state.streams {
+        match base_state.stream_clock(stream) {
+            Some(b) if b.to_bits() == clock.to_bits() => {}
+            _ => return false,
+        }
+    }
+    // Only tensors a suffix node reads can influence the tail; their
+    // readiness (or absence) must agree. Stricter than necessary for
+    // tensors rewritten inside the suffix before being read — safe.
+    for node in &graph.nodes()[suffix_start..] {
+        for t in &node.inputs {
+            if state.ready_bits(*t) != base_state.ready_bits(*t) {
+                return false;
+            }
+        }
+    }
+    true
 }
 
 /// Batched kernel evaluation, memoized when a cache is supplied — the one
@@ -380,6 +403,22 @@ fn eval(
     match cache {
         Some(c) => predictor.registry().predict_batch_memoized(c, specs),
         None => predictor.registry().predict_batch_with_confidence(specs),
+    }
+}
+
+/// The scratch-staged form of [`eval`]: appends predictions to `out`
+/// through the caller's memo staging and arena instead of allocating.
+fn eval_into(
+    predictor: &E2ePredictor,
+    cache: Option<&MemoCache>,
+    specs: &[KernelSpec],
+    memo: &mut MemoScratch,
+    arena: &mut ScratchArena,
+    out: &mut Vec<(f64, Confidence)>,
+) {
+    match cache {
+        Some(c) => predictor.registry().predict_batch_memoized_into(c, specs, memo, arena, out),
+        None => predictor.registry().predict_batch_with_confidence_into(specs, arena, out),
     }
 }
 

@@ -49,10 +49,12 @@ pub use ingest::{
     CorpusIngestState, FamilyFit, TraceCalibration,
 };
 pub use pipeline::{AnalysisJob, AnalysisReport, AnalysisState, Pipeline, PipelineError};
-pub use predictor::{E2ePredictor, OverheadGranularity, PredictError, Prediction, T4Policy};
+pub use predictor::{
+    E2ePredictor, OverheadGranularity, PredictError, Prediction, T4Policy, WalkScratch,
+};
 pub use report::{ErrorSummary, PredictionRow};
 pub use sweep::{
-    par_map, prepare_graph, GraphMutation, IncrementalSummary, PreparedStore,
+    par_map, par_map_with, prepare_graph, GraphMutation, IncrementalSummary, PreparedStore,
     PreparedStoreStats, Scenario, ScenarioMatrix, ScenarioResult, SweepEngine, SweepOutcome,
     SweepState, DEFAULT_MEMO_CAPACITY,
 };

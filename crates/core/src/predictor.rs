@@ -16,7 +16,9 @@
 use dlperf_graph::lower::{self, LowerError};
 use dlperf_graph::{Graph, Node, TensorId};
 use dlperf_gpusim::KernelSpec;
-use dlperf_kernels::{Confidence, MemoCache, ModelRegistry};
+use dlperf_kernels::{Confidence, MemoCache, MemoScratch, ModelRegistry};
+use dlperf_nn::arena::ScratchArena;
+use dlperf_nn::ArenaStats;
 use dlperf_runtime::CancellationToken;
 use dlperf_trace::{OverheadStats, OverheadType};
 use serde::{Deserialize, Serialize};
@@ -266,19 +268,105 @@ impl E2ePredictor {
         })
     }
 
-    /// Assembles the cost bundle of one node from its op key and the
-    /// already-evaluated kernel times. Pure in `(op key, kernels)`: two
-    /// structurally identical nodes get bitwise identical bundles, the
-    /// property incremental re-prediction's prefix/suffix reuse rests on.
-    pub(crate) fn node_cost(&self, op_key: &str, kernels: Vec<(f64, Confidence)>) -> NodeCosts {
-        NodeCosts {
+    /// Like [`E2ePredictor::predict`], but staging every intermediate —
+    /// kernel specs, per-node ranges and overheads, predicted values, the
+    /// walk state itself, and the MLP forward buffers — in `scratch`.
+    /// After the first call on a scratch, subsequent walks of graphs no
+    /// larger than the high-water mark perform **zero** heap allocation.
+    /// Bitwise identical to [`E2ePredictor::predict`]: same lowering
+    /// order, same batched evaluation, same frozen stepping sequence.
+    ///
+    /// # Errors
+    /// Returns a [`LowerError`] on malformed graphs.
+    pub fn predict_scratch(
+        &self,
+        graph: &Graph,
+        scratch: &mut WalkScratch,
+    ) -> Result<Prediction, LowerError> {
+        self.predict_scratch_inner(graph, None, scratch)
+    }
+
+    /// The scratch-backed form of [`E2ePredictor::predict_memoized`]:
+    /// memo-cache probing reuses `scratch`'s key/slot staging, misses are
+    /// evaluated through its arena, and the walk steps straight out of its
+    /// flat values vec. Bitwise identical to the owning path.
+    ///
+    /// # Errors
+    /// Returns a [`LowerError`] on malformed graphs.
+    pub fn predict_memoized_scratch(
+        &self,
+        graph: &Graph,
+        cache: &MemoCache,
+        scratch: &mut WalkScratch,
+    ) -> Result<Prediction, LowerError> {
+        self.predict_scratch_inner(graph, Some(cache), scratch)
+    }
+
+    fn predict_scratch_inner(
+        &self,
+        graph: &Graph,
+        cache: Option<&MemoCache>,
+        scratch: &mut WalkScratch,
+    ) -> Result<Prediction, LowerError> {
+        let _span = dlperf_obs::span("walk", dlperf_obs::SpanKind::Work);
+        scratch.specs.clear();
+        scratch.ranges.clear();
+        scratch.oh.clear();
+        scratch.values.clear();
+        for node in graph.nodes() {
+            let start = scratch.specs.len();
+            scratch.specs.extend(lower::try_kernels(graph, node)?);
+            scratch.ranges.push(start..scratch.specs.len());
+            scratch.oh.push(self.overheads_of(node.op.overhead_key()));
+        }
+        match cache {
+            Some(cache) => self.registry.predict_batch_memoized_into(
+                cache,
+                &scratch.specs,
+                &mut scratch.memo,
+                &mut scratch.arena,
+                &mut scratch.values,
+            ),
+            None => self.registry.predict_batch_with_confidence_into(
+                &scratch.specs,
+                &mut scratch.arena,
+                &mut scratch.values,
+            ),
+        }
+        scratch.state.reset();
+        for ((node, r), oh) in graph.nodes().iter().zip(&scratch.ranges).zip(&scratch.oh) {
+            scratch.state.step_parts(
+                node,
+                oh,
+                &scratch.values[r.clone()],
+                self.kernel_gap_us,
+                self.launch_factor,
+            );
+        }
+        let counters = walk_counters();
+        counters.walks.incr();
+        counters.nodes.add(graph.node_count() as u64);
+        Ok(scratch.state.finish())
+    }
+
+    /// The five launch overheads of one op key. Pure in `op_key` given the
+    /// predictor's frozen overhead database and policies.
+    pub(crate) fn overheads_of(&self, op_key: &str) -> Overheads {
+        Overheads {
             t1: self.overhead(op_key, OverheadType::T1),
             t2: self.overhead(op_key, OverheadType::T2),
             t3: self.overhead(op_key, OverheadType::T3),
             t4: self.t4(op_key),
             t5: self.overhead(op_key, OverheadType::T5),
-            kernels,
         }
+    }
+
+    /// Assembles the cost bundle of one node from its op key and the
+    /// already-evaluated kernel times. Pure in `(op key, kernels)`: two
+    /// structurally identical nodes get bitwise identical bundles, the
+    /// property incremental re-prediction's prefix/suffix reuse rests on.
+    pub(crate) fn node_cost(&self, op_key: &str, kernels: Vec<(f64, Confidence)>) -> NodeCosts {
+        NodeCosts { oh: self.overheads_of(op_key), kernels }
     }
 
     /// Lowers every node and prices all kernels in **one** evaluator call:
@@ -384,6 +472,17 @@ impl E2ePredictor {
     }
 }
 
+/// The five launch overheads of one node, `Copy` so scratch paths can
+/// stage them in a flat reusable vec with no per-node allocation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct Overheads {
+    pub(crate) t1: f64,
+    pub(crate) t2: f64,
+    pub(crate) t3: f64,
+    pub(crate) t4: f64,
+    pub(crate) t5: f64,
+}
+
 /// The priced cost bundle of one node: its five launch overheads and the
 /// predicted `(time, confidence)` of each kernel it launches, in launch
 /// order. Pure in the node's structural signature — which is why the
@@ -391,12 +490,48 @@ impl E2ePredictor {
 /// any structurally identical node.
 #[derive(Debug, Clone, PartialEq)]
 pub(crate) struct NodeCosts {
-    pub(crate) t1: f64,
-    pub(crate) t2: f64,
-    pub(crate) t3: f64,
-    pub(crate) t4: f64,
-    pub(crate) t5: f64,
+    pub(crate) oh: Overheads,
     pub(crate) kernels: Vec<(f64, Confidence)>,
+}
+
+/// Reusable scratch for repeated Algorithm-1 walks: every container a walk
+/// touches, kept at high-water capacity across calls. One scratch serves
+/// one walk at a time (methods take `&mut`); a sweep worker owns one and
+/// reuses it for every scenario it prices, which is what makes the
+/// steady-state sweep hot path allocation-free. Dropping a scratch simply
+/// frees the buffers — there is no state that must be flushed.
+#[derive(Debug, Default)]
+pub struct WalkScratch {
+    /// Concatenated kernel specs of the whole graph, in node order.
+    pub(crate) specs: Vec<KernelSpec>,
+    /// Per-node span into `specs` / `values`.
+    pub(crate) ranges: Vec<std::ops::Range<usize>>,
+    /// Predicted `(time, confidence)` per kernel, parallel to `specs`.
+    pub(crate) values: Vec<(f64, Confidence)>,
+    /// Per-node launch overheads, parallel to `ranges`.
+    pub(crate) oh: Vec<Overheads>,
+    /// The walk clocks, reset (not reallocated) per prediction.
+    pub(crate) state: WalkState,
+    /// Second state used by incremental splice-back verification.
+    pub(crate) base_state: WalkState,
+    /// Memo-cache probe staging (keys, slots, dedup tables).
+    pub(crate) memo: MemoScratch,
+    /// Arena backing the MLP forward buffers and feature matrices.
+    pub(crate) arena: ScratchArena,
+}
+
+impl WalkScratch {
+    /// An empty scratch; buffers grow to their high-water mark on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocation counters of the backing arena — the observable proof of
+    /// buffer reuse: across steady-state walks `takes` climbs while
+    /// `misses` stays flat.
+    pub fn arena_stats(&self) -> ArenaStats {
+        self.arena.stats()
+    }
 }
 
 /// "No readiness recorded" sentinel for the dense tensor-ready table.
@@ -417,7 +552,7 @@ pub(crate) const NOT_READY: f64 = f64::NEG_INFINITY;
 /// choice cannot affect results: every fold over them (`dep_ready`,
 /// [`WalkState::finish`]) is a `max`, which is order-independent for the
 /// finite non-negative values stored here.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub(crate) struct WalkState {
     pub(crate) cpu: f64,
     /// Per-stream GPU clock, keyed by stream id, in first-touch order.
@@ -438,6 +573,20 @@ impl WalkState {
             active: 0.0,
             degraded: 0,
         }
+    }
+
+    /// Returns the state to the fresh-walk initial value while keeping the
+    /// stream and tensor-ready container capacities, so a reused state
+    /// walks subsequent graphs without reallocating. A reset state is
+    /// indistinguishable from [`WalkState::new`] to every reader: the
+    /// tensor table is emptied, not zeroed, and `set_ready` re-grows it
+    /// with [`NOT_READY`] exactly as a fresh walk would.
+    pub(crate) fn reset(&mut self) {
+        self.cpu = 0.0;
+        self.streams.clear();
+        self.tensor_ready.clear();
+        self.active = 0.0;
+        self.degraded = 0;
     }
 
     /// Sets a stream's clock, creating the slot on first touch.
@@ -474,7 +623,22 @@ impl WalkState {
     /// low bits and breaks the determinism contract pinned by the golden
     /// snapshots.
     pub(crate) fn step(&mut self, node: &Node, costs: &NodeCosts, gap_us: f64, launch_factor: f64) {
-        self.cpu += costs.t1;
+        self.step_parts(node, &costs.oh, &costs.kernels, gap_us, launch_factor);
+    }
+
+    /// [`WalkState::step`] with the cost bundle passed as parts — overheads
+    /// plus a borrowed kernel slice — so scratch-backed walks can step
+    /// straight out of a flat reusable values vec without assembling
+    /// per-node [`NodeCosts`]. Same float operation sequence, bitwise.
+    pub(crate) fn step_parts(
+        &mut self,
+        node: &Node,
+        oh: &Overheads,
+        kernels: &[(f64, Confidence)],
+        gap_us: f64,
+        launch_factor: f64,
+    ) {
+        self.cpu += oh.t1;
 
         let dep_ready = node
             .inputs
@@ -483,11 +647,11 @@ impl WalkState {
             .fold(0.0f64, |a, b| a.max(b));
 
         let mut last_end: Option<f64> = None;
-        if costs.kernels.is_empty() {
-            self.cpu += costs.t5;
+        if kernels.is_empty() {
+            self.cpu += oh.t5;
         } else {
-            self.cpu += costs.t2;
-            let n = costs.kernels.len();
+            self.cpu += oh.t2;
+            let n = kernels.len();
             let si = match self.streams.iter().position(|&(s, _)| s == node.stream) {
                 Some(i) => i,
                 None => {
@@ -495,7 +659,7 @@ impl WalkState {
                     self.streams.len() - 1
                 }
             };
-            for (i, &(t_k, conf)) in costs.kernels.iter().enumerate() {
+            for (i, &(t_k, conf)) in kernels.iter().enumerate() {
                 // Degraded fallback instead of a panic when a family
                 // has no calibrated model; counted, not fatal.
                 if conf == Confidence::Degraded {
@@ -503,16 +667,15 @@ impl WalkState {
                 }
                 self.active += t_k;
                 let gpu = &mut self.streams[si].1;
-                let start =
-                    (*gpu + gap_us).max(self.cpu + launch_factor * costs.t4).max(dep_ready);
+                let start = (*gpu + gap_us).max(self.cpu + launch_factor * oh.t4).max(dep_ready);
                 *gpu = start + t_k;
                 last_end = Some(start + t_k);
-                self.cpu += costs.t4;
+                self.cpu += oh.t4;
                 if i + 1 < n {
-                    self.cpu += costs.t5;
+                    self.cpu += oh.t5;
                 }
             }
-            self.cpu += costs.t3;
+            self.cpu += oh.t3;
         }
 
         let ready = last_end.unwrap_or(self.cpu);
@@ -666,6 +829,37 @@ mod tests {
             Err(PredictError::Cancelled) => {}
             other => panic!("expected Cancelled, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn scratch_paths_match_owning_paths_bitwise_and_reuse_buffers() {
+        let (g, pred, _, _) = setup(256);
+        let plain = pred.predict(&g).unwrap();
+        let mut scratch = WalkScratch::new();
+        let s = pred.predict_scratch(&g, &mut scratch).unwrap();
+        assert_eq!(plain.e2e_us.to_bits(), s.e2e_us.to_bits());
+        assert_eq!(plain, s);
+
+        let cache = MemoCache::new();
+        let owned = pred.predict_memoized(&g, &MemoCache::new()).unwrap();
+        let m = pred.predict_memoized_scratch(&g, &cache, &mut scratch).unwrap();
+        assert_eq!(owned.e2e_us.to_bits(), m.e2e_us.to_bits());
+        assert_eq!(owned, m);
+
+        // Steady state: repeated walks of the same graph serve every
+        // buffer checkout from pooled capacity — misses stay flat. Walk
+        // uncached so batched inference (the arena consumer) actually
+        // runs every iteration; a warm memo cache would skip it entirely.
+        let misses = scratch.arena_stats().misses;
+        let takes = scratch.arena_stats().takes;
+        for _ in 0..5 {
+            let again = pred.predict_scratch(&g, &mut scratch).unwrap();
+            assert_eq!(again, s);
+        }
+        let after = scratch.arena_stats();
+        assert_eq!(after.misses, misses, "steady-state walks must not allocate: {after:?}");
+        assert!(after.takes > takes, "walks must actually go through the arena");
+        assert!(after.high_water_f64s > 0);
     }
 
     #[test]

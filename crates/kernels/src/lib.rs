@@ -39,7 +39,7 @@ pub mod registry;
 pub mod scaled;
 
 pub use error::{ErrorStats, ErrorStatsError};
-pub use memo::{CachePadded, MemoCache, MemoCacheStats, MemoKey};
+pub use memo::{CachePadded, MemoCache, MemoCacheStats, MemoKey, MemoScratch};
 pub use microbench::{MicrobenchHarness, MicrobenchJob, Microbenchmark, Sample};
 pub use persist::RegistryBundle;
 pub use registry::{

@@ -48,6 +48,8 @@ use dlperf_gpusim::{KernelFamily, KernelSpec, MemcpyKind};
 use dlperf_obs::{CounterGroup, CounterHandle};
 use serde::{Deserialize, Serialize};
 
+use dlperf_nn::arena::ScratchArena;
+
 use crate::registry::{Confidence, ModelRegistry};
 
 /// Number of independently locked shards; a small power of two keeps
@@ -410,23 +412,46 @@ impl ModelRegistry {
         cache: &MemoCache,
         kernels: &[KernelSpec],
     ) -> Vec<(f64, Confidence)> {
-        let keys: Vec<MemoKey> = kernels.iter().map(MemoKey::of).collect();
-        let mut out: Vec<Option<(f64, Confidence)>> = Vec::with_capacity(kernels.len());
+        let mut scratch = MemoScratch::default();
+        let mut arena = ScratchArena::new();
+        let mut out = Vec::with_capacity(kernels.len());
+        self.predict_batch_memoized_into(cache, kernels, &mut scratch, &mut arena, &mut out);
+        out
+    }
+
+    /// The zero-allocation form of
+    /// [`ModelRegistry::predict_batch_memoized`]: appends one
+    /// `(time, confidence)` per kernel to `out`, reusing `scratch` for key
+    /// probing / miss dedup and `arena` for the model-side feature
+    /// matrices. Bitwise identical results and identical counter
+    /// semantics; in an all-hit steady state nothing here touches the heap.
+    pub fn predict_batch_memoized_into(
+        &self,
+        cache: &MemoCache,
+        kernels: &[KernelSpec],
+        scratch: &mut MemoScratch,
+        arena: &mut ScratchArena,
+        out: &mut Vec<(f64, Confidence)>,
+    ) {
+        let MemoScratch { keys, slots, first, miss_idx, dup_idx, specs, values } = scratch;
+        keys.clear();
+        keys.extend(kernels.iter().map(MemoKey::of));
+        slots.clear();
         let mut hits = 0u64;
-        for key in &keys {
+        for key in keys.iter() {
             let probe = cache.probe(key);
             if probe.is_some() {
                 hits += 1;
             }
-            out.push(probe);
+            slots.push(probe);
         }
         // First occurrence of each absent key is a miss to evaluate;
         // duplicates resolve from the first's result and count as hits,
         // exactly as a scalar loop (insert, then hit) would count them.
-        let mut first: HashMap<MemoKey, usize> = HashMap::new();
-        let mut miss_idx: Vec<usize> = Vec::new();
-        let mut dup_idx: Vec<usize> = Vec::new();
-        for (i, slot) in out.iter().enumerate() {
+        first.clear();
+        miss_idx.clear();
+        dup_idx.clear();
+        for (i, slot) in slots.iter().enumerate() {
             if slot.is_none() {
                 match first.entry(keys[i]) {
                     std::collections::hash_map::Entry::Occupied(_) => {
@@ -445,20 +470,35 @@ impl ModelRegistry {
         }
         if !miss_idx.is_empty() {
             cache.misses.add(miss_idx.len() as u64);
-            let specs: Vec<KernelSpec> =
-                miss_idx.iter().map(|&i| kernels[i].clone()).collect();
-            let values = self.predict_batch_with_confidence(&specs);
-            for (&i, v) in miss_idx.iter().zip(values) {
+            specs.clear();
+            specs.extend(miss_idx.iter().map(|&i| kernels[i].clone()));
+            values.clear();
+            self.predict_batch_with_confidence_into(specs, arena, values);
+            for (&i, &v) in miss_idx.iter().zip(values.iter()) {
                 cache.store(keys[i], v);
-                out[i] = Some(v);
+                slots[i] = Some(v);
             }
-            for i in dup_idx {
+            for &i in dup_idx.iter() {
                 let j = first[&keys[i]];
-                out[i] = out[j];
+                slots[i] = slots[j];
             }
         }
-        out.into_iter().map(|v| v.expect("every kernel resolved")).collect()
+        out.extend(slots.iter().map(|v| v.expect("every kernel resolved")));
     }
+}
+
+/// Reusable buffers for [`ModelRegistry::predict_batch_memoized_into`]:
+/// every transient container of the batched memo probe keeps its capacity
+/// across calls, so steady-state (all-hit) batches are allocation-free.
+#[derive(Debug, Default)]
+pub struct MemoScratch {
+    keys: Vec<MemoKey>,
+    slots: Vec<Option<(f64, Confidence)>>,
+    first: HashMap<MemoKey, usize>,
+    miss_idx: Vec<usize>,
+    dup_idx: Vec<usize>,
+    specs: Vec<KernelSpec>,
+    values: Vec<(f64, Confidence)>,
 }
 
 #[cfg(test)]

@@ -5,6 +5,7 @@
 //! its execution time, both log-preprocessed (handled by `dlperf-nn`).
 
 use dlperf_gpusim::{KernelFamily, KernelSpec};
+use dlperf_nn::arena::ScratchArena;
 use dlperf_nn::dataset::Dataset;
 use dlperf_nn::gridsearch::{grid_search, SearchSpace};
 use dlperf_nn::train::{train, TrainConfig, TrainedModel};
@@ -17,6 +18,14 @@ use crate::microbench::Sample;
 /// depends on how the inner dimension meets sector and bank boundaries —
 /// information a pure log-magnitude feature cannot carry.
 pub fn features(kernel: &KernelSpec) -> Vec<f64> {
+    let mut out = Vec::new();
+    features_into(kernel, &mut out);
+    out
+}
+
+/// Appends [`features`] of `kernel` to `out` — the allocation-free form
+/// used to stage family-grouped feature matrices in arena buffers.
+pub fn features_into(kernel: &KernelSpec, out: &mut Vec<f64>) {
     match *kernel {
         KernelSpec::Gemm { m, n, k, batch } => {
             // Tile counts at the two dominant cuBLAS tilings let the MLP
@@ -24,24 +33,32 @@ pub fn features(kernel: &KernelSpec) -> Vec<f64> {
             // which raw log-magnitudes smooth over.
             let tiles128 = (m.div_ceil(128) * n.div_ceil(128) * batch) as f64;
             let tiles64 = (m.div_ceil(64) * n.div_ceil(64) * batch) as f64;
-            vec![m as f64, n as f64, k as f64, batch as f64, kernel.flops(), tiles128, tiles64]
+            out.extend_from_slice(&[
+                m as f64,
+                n as f64,
+                k as f64,
+                batch as f64,
+                kernel.flops(),
+                tiles128,
+                tiles64,
+            ]);
         }
-        KernelSpec::Transpose { batch, rows, cols } => vec![
+        KernelSpec::Transpose { batch, rows, cols } => out.extend_from_slice(&[
             batch as f64,
             rows as f64,
             cols as f64,
             (cols % 32) as f64,
             (cols % 8) as f64,
-        ],
+        ]),
         KernelSpec::TrilForward { batch, n } | KernelSpec::TrilBackward { batch, n } => {
-            vec![batch as f64, n as f64, (n % 32) as f64]
+            out.extend_from_slice(&[batch as f64, n as f64, (n % 32) as f64])
         }
         KernelSpec::Conv2d { kh, kw, c_in, .. } => {
             // The implicit-GEMM shape is the natural coordinate system for
             // conv cost; filter geometry and input depth add the lowering
             // efficiency the GEMM dims cannot see.
             let (m, n, k, batch) = dlperf_gpusim::conv::implicit_gemm_shape(kernel);
-            vec![
+            out.extend_from_slice(&[
                 m as f64,
                 n as f64,
                 k as f64,
@@ -50,15 +67,17 @@ pub fn features(kernel: &KernelSpec) -> Vec<f64> {
                 kw as f64,
                 c_in as f64,
                 kernel.flops(),
-            ]
+            ]);
         }
         KernelSpec::EmbeddingForward { b, e, t, l, d, .. }
         | KernelSpec::EmbeddingBackward { b, e, t, l, d, .. } => {
-            vec![b as f64, e as f64, t as f64, l as f64, d as f64]
+            out.extend_from_slice(&[b as f64, e as f64, t as f64, l as f64, d as f64])
         }
-        KernelSpec::Concat { bytes } | KernelSpec::Memcpy { bytes, .. } => vec![bytes as f64],
+        KernelSpec::Concat { bytes } | KernelSpec::Memcpy { bytes, .. } => {
+            out.push(bytes as f64)
+        }
         KernelSpec::Elementwise { elems, flops_per_elem, bytes_per_elem } => {
-            vec![elems as f64, flops_per_elem, bytes_per_elem]
+            out.extend_from_slice(&[elems as f64, flops_per_elem, bytes_per_elem])
         }
     }
 }
@@ -163,18 +182,37 @@ impl MlKernelModel {
     /// # Panics
     /// Panics if any kernel belongs to a different family.
     pub fn predict_batch(&self, kernels: &[KernelSpec]) -> Vec<f64> {
+        let mut arena = ScratchArena::new();
+        let mut out = Vec::with_capacity(kernels.len());
+        self.predict_batch_into(kernels, &mut arena, &mut out);
+        out
+    }
+
+    /// The zero-allocation batch path: stages the stacked feature matrix in
+    /// an arena buffer and appends one prediction per kernel to `out`.
+    /// Bitwise identical to [`MlKernelModel::predict_batch`].
+    ///
+    /// # Panics
+    /// Panics if any kernel belongs to a different family.
+    pub fn predict_batch_into(
+        &self,
+        kernels: &[KernelSpec],
+        arena: &mut ScratchArena,
+        out: &mut Vec<f64>,
+    ) {
         if kernels.is_empty() {
-            return Vec::new();
+            return;
         }
+        let mut feats = arena.take();
         for k in kernels {
             assert_eq!(k.family(), self.family, "family mismatch in MlKernelModel::predict_batch");
+            features_into(k, &mut feats);
         }
-        let rows: Vec<Vec<f64>> = kernels.iter().map(features).collect();
-        self.model
-            .predict_batch(&rows)
-            .into_iter()
-            .map(|p| (p * self.correction).max(0.01))
-            .collect()
+        let start = out.len();
+        self.model.predict_flat_into(feats, kernels.len(), arena, out);
+        for p in &mut out[start..] {
+            *p = (*p * self.correction).max(0.01);
+        }
     }
 }
 

@@ -41,6 +41,15 @@ pub enum PersistError {
     Snapshot(SnapshotError),
     /// Reading or writing the bundle file failed.
     Io(std::io::Error),
+    /// The bundle was produced under a different lane-reduction width than
+    /// this build's contract ([`dlperf_nn::LANES`]); its models would not
+    /// reproduce their validation bits here.
+    LaneWidth {
+        /// Width recorded in the bundle.
+        found: usize,
+        /// Width this build's contract requires.
+        expected: usize,
+    },
 }
 
 impl std::fmt::Display for PersistError {
@@ -48,6 +57,11 @@ impl std::fmt::Display for PersistError {
         match self {
             PersistError::Snapshot(e) => write!(f, "bundle rejected: {e}"),
             PersistError::Io(e) => write!(f, "bundle I/O failed: {e}"),
+            PersistError::LaneWidth { found, expected } => write!(
+                f,
+                "bundle rejected: lane width {found} does not match this \
+                 build's accumulation contract (W={expected})"
+            ),
         }
     }
 }
@@ -57,6 +71,7 @@ impl std::error::Error for PersistError {
         match self {
             PersistError::Snapshot(e) => Some(e),
             PersistError::Io(e) => Some(e),
+            PersistError::LaneWidth { .. } => None,
         }
     }
 }
@@ -76,6 +91,16 @@ impl From<std::io::Error> for PersistError {
 /// A serializable snapshot of every model a calibrated registry holds.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RegistryBundle {
+    /// Lane width of the `dlperf-nn` accumulation contract
+    /// ([`dlperf_nn::LANES`], DESIGN.md §9.3) the bundle's MLP weights were
+    /// trained and validated under. Frozen into every new bundle so a build
+    /// whose contract width differs refuses the checkpoint instead of
+    /// silently producing different bits. `0` marks bundles written before
+    /// the lane contract existed; they still verify (the stored weights are
+    /// raw parameters, and the pre-contract serial order is what the W=4
+    /// contract was derived from — see DESIGN.md §9.3).
+    #[serde(default)]
+    pub lane_width: usize,
     /// The device the bundle was calibrated for.
     pub device: DeviceSpec,
     /// Roofline for memcpy / concat / element-wise.
@@ -131,15 +156,24 @@ impl RegistryBundle {
     /// (truncated file), schema mismatch (not a bundle), version mismatch
     /// (incompatible build), or checksum mismatch (corruption).
     pub fn from_json(s: &str) -> Result<Self, PersistError> {
-        match dlperf_runtime::open(BUNDLE_SCHEMA, BUNDLE_VERSION, s) {
-            Ok(bundle) => Ok(bundle),
+        let bundle: RegistryBundle = match dlperf_runtime::open(BUNDLE_SCHEMA, BUNDLE_VERSION, s) {
+            Ok(bundle) => bundle,
             // A legacy bare bundle parses as JSON but has no envelope
             // fields; only that specific shape falls through.
             Err(SnapshotError::Parse(_)) => {
-                serde_json::from_str(s).map_err(|e| SnapshotError::Parse(e).into())
+                serde_json::from_str(s).map_err(|e| PersistError::from(SnapshotError::Parse(e)))?
             }
-            Err(e) => Err(e.into()),
+            Err(e) => return Err(e.into()),
+        };
+        // Pre-contract bundles (lane_width 0, the serde default) still
+        // verify; anything else must match this build's contract width.
+        if bundle.lane_width != 0 && bundle.lane_width != dlperf_nn::LANES {
+            return Err(PersistError::LaneWidth {
+                found: bundle.lane_width,
+                expected: dlperf_nn::LANES,
+            });
         }
+        Ok(bundle)
     }
 
     /// Saves the sealed bundle to a file, atomically (temp file + rename),
@@ -246,6 +280,31 @@ mod tests {
             }
             other => panic!("expected VersionMismatch, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn foreign_lane_width_is_rejected_legacy_zero_accepted() {
+        let bundle =
+            ModelRegistry::calibrate_bundle(&DeviceSpec::v100(), CalibrationEffort::Quick, 5);
+        assert_eq!(bundle.lane_width, dlperf_nn::LANES);
+
+        // A bundle sealed under a different contract width must not load.
+        let mut foreign = bundle.clone();
+        foreign.lane_width = dlperf_nn::LANES * 2;
+        match RegistryBundle::from_json(&foreign.to_json()) {
+            Err(PersistError::LaneWidth { found, expected }) => {
+                assert_eq!(found, dlperf_nn::LANES * 2);
+                assert_eq!(expected, dlperf_nn::LANES);
+            }
+            other => panic!("expected LaneWidth rejection, got {other:?}"),
+        }
+
+        // Pre-contract bundles (no lane_width field → serde default 0)
+        // still verify.
+        let mut legacy = bundle;
+        legacy.lane_width = 0;
+        let loaded = RegistryBundle::from_json(&legacy.to_json()).expect("legacy width accepted");
+        assert_eq!(loaded.lane_width, 0);
     }
 
     #[test]

@@ -12,6 +12,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use dlperf_gpusim::{DeviceSpec, KernelFamily, KernelSpec, MemcpyKind};
+use dlperf_nn::arena::ScratchArena;
 use dlperf_nn::train::TrainConfig;
 
 use crate::heuristic::embedding::{EmbeddingModel, EmbeddingModelKind};
@@ -91,6 +92,19 @@ pub trait KernelPerfModel: Send + Sync {
     fn predict_batch(&self, kernels: &[KernelSpec]) -> Vec<f64> {
         kernels.iter().map(|k| self.predict(k)).collect()
     }
+    /// Appends predicted times for a batch of same-family kernels to `out`,
+    /// staging transient buffers in `arena` so steady-state callers stay
+    /// allocation-free. The default maps [`KernelPerfModel::predict`];
+    /// overrides must stay bitwise identical to that map.
+    fn predict_batch_into(
+        &self,
+        kernels: &[KernelSpec],
+        arena: &mut ScratchArena,
+        out: &mut Vec<f64>,
+    ) {
+        let _ = arena;
+        out.extend(kernels.iter().map(|k| self.predict(k)));
+    }
     /// Short model name for reports, e.g. `"ML(GEMM)"`.
     fn name(&self) -> String;
 }
@@ -122,6 +136,14 @@ impl KernelPerfModel for MlKernelModel {
     }
     fn predict_batch(&self, kernels: &[KernelSpec]) -> Vec<f64> {
         MlKernelModel::predict_batch(self, kernels)
+    }
+    fn predict_batch_into(
+        &self,
+        kernels: &[KernelSpec],
+        arena: &mut ScratchArena,
+        out: &mut Vec<f64>,
+    ) {
+        MlKernelModel::predict_batch_into(self, kernels, arena, out)
     }
     fn name(&self) -> String {
         format!("ML({})", self.family())
@@ -262,29 +284,53 @@ impl ModelRegistry {
     /// pure function and every batched override is pinned to its scalar
     /// path bit-for-bit.
     pub fn predict_batch_with_confidence(&self, kernels: &[KernelSpec]) -> Vec<(f64, Confidence)> {
+        let mut arena = ScratchArena::new();
+        let mut out = Vec::with_capacity(kernels.len());
+        self.predict_batch_with_confidence_into(kernels, &mut arena, &mut out);
+        out
+    }
+
+    /// The zero-allocation form of
+    /// [`ModelRegistry::predict_batch_with_confidence`]: appends one
+    /// `(time, confidence)` per kernel to `out`, staging the family-grouped
+    /// feature matrices and per-model times in `arena` buffers. Bitwise
+    /// identical results.
+    pub fn predict_batch_with_confidence_into(
+        &self,
+        kernels: &[KernelSpec],
+        arena: &mut ScratchArena,
+        out: &mut Vec<(f64, Confidence)>,
+    ) {
         self.batch_calls.incr();
         // Single-family batches (the common shape once a walker has grouped
         // its misses) skip the grouping, clone, and scatter entirely.
         if let Some(first) = kernels.first() {
             let fam = first.family();
             if kernels.iter().all(|k| k.family() == fam) {
-                return match self.models.get(&fam) {
-                    Some(model) => model
-                        .predict_batch(kernels)
-                        .into_iter()
-                        .map(|t| (t, Confidence::Calibrated))
-                        .collect(),
+                match self.models.get(&fam) {
+                    Some(model) => {
+                        let mut times = arena.take();
+                        model.predict_batch_into(kernels, arena, &mut times);
+                        out.extend(times.iter().map(|&t| (t, Confidence::Calibrated)));
+                        arena.give(times);
+                    }
                     None => {
                         self.degraded.add(kernels.len() as u64);
-                        kernels
-                            .iter()
-                            .map(|k| (datasheet_roofline(&self.device, k), Confidence::Degraded))
-                            .collect()
+                        out.extend(
+                            kernels
+                                .iter()
+                                .map(|k| (datasheet_roofline(&self.device, k), Confidence::Degraded)),
+                        );
                     }
-                };
+                }
+                return;
             }
         }
-        let mut out: Vec<Option<(f64, Confidence)>> = vec![None; kernels.len()];
+        // Mixed-family batches (rare on the walker path) still group with
+        // transient containers; only the per-family feature matrices are
+        // arena-staged.
+        let start = out.len();
+        out.resize(start + kernels.len(), (0.0, Confidence::Degraded));
         let mut order: Vec<KernelFamily> = Vec::new();
         let mut groups: HashMap<KernelFamily, Vec<usize>> = HashMap::new();
         for (i, k) in kernels.iter().enumerate() {
@@ -303,23 +349,22 @@ impl ModelRegistry {
                 Some(model) => {
                     let specs: Vec<KernelSpec> =
                         idxs.iter().map(|&i| kernels[i].clone()).collect();
-                    let times = model.predict_batch(&specs);
-                    for (&i, t) in idxs.iter().zip(times) {
-                        out[i] = Some((t, Confidence::Calibrated));
+                    let mut times = arena.take();
+                    model.predict_batch_into(&specs, arena, &mut times);
+                    for (&i, &t) in idxs.iter().zip(times.iter()) {
+                        out[start + i] = (t, Confidence::Calibrated);
                     }
+                    arena.give(times);
                 }
                 None => {
                     self.degraded.add(idxs.len() as u64);
                     for &i in idxs {
-                        out[i] = Some((
-                            datasheet_roofline(&self.device, &kernels[i]),
-                            Confidence::Degraded,
-                        ));
+                        out[start + i] =
+                            (datasheet_roofline(&self.device, &kernels[i]), Confidence::Degraded);
                     }
                 }
             }
         }
-        out.into_iter().map(|v| v.expect("every kernel grouped")).collect()
     }
 
     /// Rewraps this registry with trace-fitted per-family scale factors
@@ -400,6 +445,7 @@ impl ModelRegistry {
         let conv = train_ml(microbench::conv_specs(effort.samples(220, 800), seed ^ 6), &cfg, seed ^ 6);
 
         crate::persist::RegistryBundle {
+            lane_width: dlperf_nn::LANES,
             device: device.clone(),
             roofline,
             // The enhanced heuristic model, adopted for E2E prediction after

@@ -1,0 +1,168 @@
+//! Reusable scratch buffers for the allocation-free inference hot path.
+//!
+//! Steady-state sweep and incremental iterations must not touch the heap:
+//! every transient `Vec<f64>` on the batched-inference path (family-grouped
+//! feature matrices, `InferencePlan` forward ping/pong buffers) is checked
+//! out of a [`ScratchArena`] and returned when done, so capacity survives
+//! across scenarios. Whether reuse actually happens is observable — the
+//! arena keeps local [`ArenaStats`] (high-water-marked) and mirrors
+//! take/miss events into the process-wide `nn.arena` counter group exported
+//! through the `dlperf-obs` recorder.
+
+use std::sync::{Arc, OnceLock};
+
+use dlperf_obs::{CounterGroup, CounterHandle};
+
+/// Process-wide counters aggregated across every [`ScratchArena`]: `takes`
+/// (checkouts), `misses` (checkouts that had to allocate because the pool
+/// was empty), `gives` (returns). The group lives for the whole process so
+/// the obs recorder can export it on flush.
+pub fn arena_counters() -> &'static Arc<CounterGroup> {
+    static GROUP: OnceLock<Arc<CounterGroup>> = OnceLock::new();
+    GROUP.get_or_init(|| CounterGroup::register("nn.arena", &["takes", "misses", "gives"]))
+}
+
+/// Point-in-time view of one arena's reuse behaviour.
+///
+/// The zero-allocation proof for steady state is `misses` staying flat
+/// while `takes` keeps climbing: every checkout was served from pooled
+/// capacity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ArenaStats {
+    /// Buffers checked out over the arena's lifetime.
+    pub takes: u64,
+    /// Checkouts that allocated a fresh buffer (pool was empty).
+    pub misses: u64,
+    /// Largest total `f64` capacity ever resident in the pool at once.
+    pub high_water_f64s: usize,
+    /// Buffers currently parked in the pool.
+    pub pooled: usize,
+}
+
+/// A checkout/return pool of `Vec<f64>` scratch buffers.
+///
+/// Not thread-safe by design: each sweep worker owns one (the pool is hot
+/// enough that a lock would show up). `take` hands back a *cleared* buffer
+/// that keeps whatever capacity it grew to on earlier iterations; `give`
+/// parks it for the next checkout.
+#[derive(Debug)]
+pub struct ScratchArena {
+    pool: Vec<Vec<f64>>,
+    takes: u64,
+    misses: u64,
+    high_water_f64s: usize,
+    obs_takes: CounterHandle,
+    obs_misses: CounterHandle,
+    obs_gives: CounterHandle,
+}
+
+impl ScratchArena {
+    /// An empty arena; the first few `take`s will miss and allocate, after
+    /// which capacity recirculates.
+    pub fn new() -> Self {
+        let group = arena_counters();
+        ScratchArena {
+            pool: Vec::new(),
+            takes: 0,
+            misses: 0,
+            high_water_f64s: 0,
+            obs_takes: group.handle("takes"),
+            obs_misses: group.handle("misses"),
+            obs_gives: group.handle("gives"),
+        }
+    }
+
+    /// Checks out a cleared buffer, reusing pooled capacity when available.
+    pub fn take(&mut self) -> Vec<f64> {
+        self.takes += 1;
+        self.obs_takes.incr();
+        match self.pool.pop() {
+            Some(mut buf) => {
+                buf.clear();
+                buf
+            }
+            None => {
+                self.misses += 1;
+                self.obs_misses.incr();
+                Vec::new()
+            }
+        }
+    }
+
+    /// Returns a buffer to the pool, keeping its capacity for the next
+    /// [`take`](Self::take).
+    pub fn give(&mut self, buf: Vec<f64>) {
+        self.obs_gives.incr();
+        self.pool.push(buf);
+        let resident: usize = self.pool.iter().map(|b| b.capacity()).sum();
+        if resident > self.high_water_f64s {
+            self.high_water_f64s = resident;
+        }
+    }
+
+    /// Current reuse stats for this arena.
+    pub fn stats(&self) -> ArenaStats {
+        ArenaStats {
+            takes: self.takes,
+            misses: self.misses,
+            high_water_f64s: self.high_water_f64s,
+            pooled: self.pool.len(),
+        }
+    }
+}
+
+impl Default for ScratchArena {
+    fn default() -> Self {
+        ScratchArena::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steady_state_take_give_never_misses_again() {
+        let mut arena = ScratchArena::new();
+        let mut a = arena.take();
+        a.resize(1024, 0.0);
+        let mut b = arena.take();
+        b.resize(512, 0.0);
+        assert_eq!(arena.stats().misses, 2);
+        arena.give(a);
+        arena.give(b);
+        for _ in 0..100 {
+            let x = arena.take();
+            let y = arena.take();
+            assert!(x.capacity() >= 512 && y.capacity() >= 512);
+            arena.give(x);
+            arena.give(y);
+        }
+        let stats = arena.stats();
+        assert_eq!(stats.misses, 2, "steady state must reuse pooled capacity");
+        assert_eq!(stats.takes, 202);
+        assert!(stats.high_water_f64s >= 1536);
+        assert_eq!(stats.pooled, 2);
+    }
+
+    #[test]
+    fn taken_buffers_come_back_cleared() {
+        let mut arena = ScratchArena::new();
+        let mut a = arena.take();
+        a.extend_from_slice(&[1.0, 2.0, 3.0]);
+        arena.give(a);
+        let b = arena.take();
+        assert!(b.is_empty());
+        assert!(b.capacity() >= 3);
+    }
+
+    #[test]
+    fn global_counters_mirror_local_stats() {
+        let group = arena_counters();
+        let takes_before = group.value("takes");
+        let mut arena = ScratchArena::new();
+        let buf = arena.take();
+        arena.give(buf);
+        assert!(group.value("takes") > takes_before);
+    }
+}

@@ -36,6 +36,7 @@
 //! assert!((pred - 1.5).abs() < 0.3);
 //! ```
 
+pub mod arena;
 pub mod dataset;
 pub mod gridsearch;
 pub mod matrix;
@@ -44,7 +45,9 @@ pub mod optim;
 pub mod preprocess;
 pub mod train;
 
+pub use arena::{ArenaStats, ScratchArena};
 pub use dataset::Dataset;
+pub use matrix::{lane_dot, lane_dot_reference, LANES};
 pub use gridsearch::{
     grid_search, grid_search_supervised, GridSearchJob, HyperParams, SearchSpace,
 };

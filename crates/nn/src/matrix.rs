@@ -1,8 +1,80 @@
 //! Dense row-major `f64` matrices with exactly the operations MLP training
 //! needs. No BLAS, no unsafe — clarity over peak speed; the datasets here
 //! are thousands of rows, not millions.
+//!
+//! Every dot product in this crate — training forward/backward, scalar
+//! inference, and the packed [`InferencePlan`](crate::net::InferencePlan)
+//! batch path — goes through [`lane_dot`], the *lane-reduction accumulation
+//! contract* (DESIGN.md §9.3). The contract pins bitwise-exact results
+//! across all execution strategies, so the SIMD-friendly batched kernel is
+//! the definition rather than an approximation of the scalar path.
 
 use serde::{Deserialize, Serialize};
+
+/// Lane width of the accumulation contract: dot products run [`LANES`]
+/// independent partial sums (lane `l` takes terms with `k ≡ l (mod LANES)`
+/// in ascending `k`) reduced in a fixed tree at the end.
+///
+/// `LANES` is frozen into the persisted model envelope
+/// (`dlperf-kernels::persist`); changing it is a bit-visible contract break
+/// and requires a bundle-version story, not just a recompile.
+pub const LANES: usize = 4;
+
+/// The lane-reduction dot product — the single definition of floating-point
+/// accumulation order for this crate (DESIGN.md §9.3).
+///
+/// Semantics, in order:
+/// 1. `LANES` partial sums; lane `l` accumulates terms `x[k] * w[k]` for
+///    `k ≡ l (mod LANES)` in ascending `k` (remainder elements land in
+///    lanes `0..len % LANES` — they are just the tail of each lane's
+///    arithmetic sequence).
+/// 2. Terms whose **left** operand is exactly `0.0` (either sign) are
+///    skipped: the lane accumulator is left untouched, even if `w[k]` is
+///    infinite or NaN. This mirrors sparse activations after ReLU and is a
+///    branchless select, so it vectorizes as a blend.
+/// 3. Fixed reduction tree: `(acc0 + acc1) + (acc2 + acc3)`.
+///
+/// # Panics
+/// Panics in debug builds if lengths disagree.
+#[inline]
+pub fn lane_dot(x: &[f64], w: &[f64]) -> f64 {
+    debug_assert_eq!(x.len(), w.len(), "lane_dot length mismatch");
+    let mut acc = [0.0f64; LANES];
+    let mut xc = x.chunks_exact(LANES);
+    let mut wc = w.chunks_exact(LANES);
+    for (cx, cw) in (&mut xc).zip(&mut wc) {
+        for l in 0..LANES {
+            let a = cx[l];
+            // Select, not branch: `acc + a * cw[l]` would differ from a
+            // true skip when a == 0.0 and cw[l] is inf/NaN, and a branch
+            // would block vectorization.
+            acc[l] = if a == 0.0 { acc[l] } else { acc[l] + a * cw[l] };
+        }
+    }
+    for (l, (&a, &b)) in xc.remainder().iter().zip(wc.remainder()).enumerate() {
+        acc[l] = if a == 0.0 { acc[l] } else { acc[l] + a * b };
+    }
+    (acc[0] + acc[1]) + (acc[2] + acc[3])
+}
+
+/// Scalar emulation of [`lane_dot`]: per-lane strided serial passes, no
+/// chunking. Structurally different code that must produce bitwise-identical
+/// results — the property test that pins the contract compares the two.
+pub fn lane_dot_reference(x: &[f64], w: &[f64]) -> f64 {
+    assert_eq!(x.len(), w.len(), "lane_dot length mismatch");
+    let mut acc = [0.0f64; LANES];
+    for (l, lane) in acc.iter_mut().enumerate() {
+        let mut k = l;
+        while k < x.len() {
+            let a = x[k];
+            if a != 0.0 {
+                *lane += a * w[k];
+            }
+            k += LANES;
+        }
+    }
+    (acc[0] + acc[1]) + (acc[2] + acc[3])
+}
 
 /// A dense row-major matrix.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -42,6 +114,20 @@ impl Matrix {
             cols,
             data: rows.iter().flatten().copied().collect(),
         })
+    }
+
+    /// Builds a matrix from row-major data.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "from_vec length mismatch");
+        Matrix { rows, cols, data }
+    }
+
+    /// Consumes the matrix, returning its row-major data.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
     }
 
     /// Number of rows.
@@ -88,22 +174,23 @@ impl Matrix {
 
     /// Matrix product `self × rhs`.
     ///
+    /// Every output element is a [`lane_dot`] of a row of `self` against a
+    /// column of `rhs` (materialized once via an internal transpose for
+    /// contiguity) — so each element's bits are independent of which other
+    /// rows/columns are computed alongside it, and batch results match
+    /// per-row results exactly.
+    ///
     /// # Panics
     /// Panics if inner dimensions disagree.
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(self.cols, rhs.rows, "matmul dims: {}x{} × {}x{}", self.rows, self.cols, rhs.rows, rhs.cols);
+        let rt = rhs.transpose();
         let mut out = Matrix::zeros(self.rows, rhs.cols);
         for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self.data[i * self.cols + k];
-                if a == 0.0 {
-                    continue;
-                }
-                let rrow = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
-                let orow = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-                for (o, &b) in orow.iter_mut().zip(rrow) {
-                    *o += a * b;
-                }
+            let xrow = &self.data[i * self.cols..(i + 1) * self.cols];
+            let orow = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+            for (j, o) in orow.iter_mut().enumerate() {
+                *o = lane_dot(xrow, rt.row(j));
             }
         }
         out
@@ -225,6 +312,38 @@ mod tests {
         let a = Matrix::zeros(2, 3);
         let b = Matrix::zeros(2, 3);
         let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn lane_dot_matches_reference_on_all_remainders() {
+        // k % LANES ∈ {0, 1, 2, 3} all exercised, with awkward magnitudes
+        // so any reassociation flips low mantissa bits.
+        for k in 0..=13 {
+            let x: Vec<f64> = (0..k)
+                .map(|i| if i % 3 == 0 { 0.0 } else { (i as f64 + 0.3) * 10f64.powi(i % 5 - 2) })
+                .collect();
+            let w: Vec<f64> = (0..k).map(|i| (i as f64 - 1.7) * 3f64.powi(i % 4) + 1e-9).collect();
+            assert_eq!(
+                lane_dot(&x, &w).to_bits(),
+                lane_dot_reference(&x, &w).to_bits(),
+                "k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn lane_dot_zero_left_skips_even_nonfinite_right() {
+        // A true skip: 0.0 * inf would be NaN if the term were computed.
+        let x = [0.0, 2.0, -0.0, 1.0, 0.0];
+        let w = [f64::INFINITY, 3.0, f64::NAN, 5.0, f64::NEG_INFINITY];
+        let got = lane_dot(&x, &w);
+        assert_eq!(got.to_bits(), lane_dot_reference(&x, &w).to_bits());
+        assert_eq!(got, 11.0);
+    }
+
+    #[test]
+    fn lane_dot_empty_is_zero() {
+        assert_eq!(lane_dot(&[], &[]).to_bits(), 0.0f64.to_bits());
     }
 
     #[test]

@@ -5,7 +5,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
-use crate::matrix::Matrix;
+use crate::arena::ScratchArena;
+use crate::matrix::{lane_dot, Matrix};
 
 /// One fully connected layer with its parameter gradients.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -179,35 +180,106 @@ impl Mlp {
             layers: self
                 .layers
                 .iter()
-                .map(|l| (l.w.clone(), l.b.clone()))
+                .map(|l| PlanLayer::pack(&l.w, &l.b))
                 .collect(),
         }
     }
 }
 
+/// One packed inference layer: weights transposed to output-major
+/// (`wt[j * inputs + k] == w[k][j]`) so each output neuron's dot product
+/// reads a contiguous stripe, plus its bias.
+#[derive(Debug, Clone)]
+struct PlanLayer {
+    wt: Vec<f64>,
+    bias: Vec<f64>,
+    inputs: usize,
+    outputs: usize,
+}
+
+impl PlanLayer {
+    fn pack(w: &Matrix, b: &[f64]) -> PlanLayer {
+        let (inputs, outputs) = (w.rows(), w.cols());
+        let mut wt = Vec::with_capacity(inputs * outputs);
+        for j in 0..outputs {
+            for k in 0..inputs {
+                wt.push(w.at(k, j));
+            }
+        }
+        PlanLayer { wt, bias: b.to_vec(), inputs, outputs }
+    }
+}
+
 /// Frozen inference-only weights for batched prediction: an N-row batch is
 /// one forward pass per layer instead of N scalar forwards, amortising loop
-/// and allocation overhead across the whole batch.
+/// overhead across the batch and — through a [`ScratchArena`] — reusing the
+/// forward ping/pong buffers so steady-state batches allocate nothing.
 ///
-/// Weights stay row-major on purpose. The determinism contract pins each
-/// output element to a serial, `k`-ascending accumulation, so a column-major
-/// dot-product form could never vectorise (that would reassociate the sum);
-/// the only SIMD-compatible structure is [`Matrix::matmul`]'s axpy across
-/// independent output columns, which reads contiguous *rows* of the weight
-/// matrix.
-///
-/// [`InferencePlan::infer`] is bitwise identical to [`Mlp::infer`] on the
-/// plan's source network — same `matmul`, same bias add, same ReLU, in the
-/// same order.
+/// Weights are packed *transposed* (output-major) at plan build time, so
+/// every output element is one contiguous [`lane_dot`]. That is bitwise
+/// identical to [`Mlp::infer`]'s `matmul` path because the lane-reduction
+/// contract (DESIGN.md §9.3) defines the accumulation order per output
+/// element, independent of operand layout: `matmul` materializes the same
+/// transposed stripes internally and feeds them to the same `lane_dot`.
+/// Same dot, same bias add, same ReLU, in the same order.
 #[derive(Debug, Clone)]
 pub struct InferencePlan {
-    layers: Vec<(Matrix, Vec<f64>)>,
+    layers: Vec<PlanLayer>,
 }
 
 impl InferencePlan {
     /// Number of input features.
     pub fn inputs(&self) -> usize {
-        self.layers[0].0.rows()
+        self.layers[0].inputs
+    }
+
+    /// The forward pass shared by every entry point: consumes a row-major
+    /// `rows × inputs` activation buffer, returns the final `rows ×
+    /// last_outputs` activations. All intermediates come from (and return
+    /// to) `arena`.
+    fn forward_flat(&self, x: Vec<f64>, rows: usize, arena: &mut ScratchArena) -> Vec<f64> {
+        assert_eq!(x.len(), rows * self.inputs(), "feature count mismatch");
+        let n = self.layers.len();
+        let mut cur = x;
+        for (i, layer) in self.layers.iter().enumerate() {
+            let mut next = arena.take();
+            next.reserve(rows * layer.outputs);
+            for r in 0..rows {
+                let xrow = &cur[r * layer.inputs..(r + 1) * layer.inputs];
+                for j in 0..layer.outputs {
+                    let wrow = &layer.wt[j * layer.inputs..(j + 1) * layer.inputs];
+                    let mut v = lane_dot(xrow, wrow) + layer.bias[j];
+                    if i + 1 < n {
+                        v = v.max(0.0);
+                    }
+                    next.push(v);
+                }
+            }
+            arena.give(cur);
+            cur = next;
+        }
+        cur
+    }
+
+    /// Batched prediction into a caller buffer, allocation-free in steady
+    /// state: consumes a row-major preprocessed feature buffer (returned to
+    /// `arena` when done) and appends one prediction per row to `out`.
+    ///
+    /// # Panics
+    /// Panics if `feats.len() != rows * inputs`.
+    pub fn predict_flat_into(
+        &self,
+        feats: Vec<f64>,
+        rows: usize,
+        arena: &mut ScratchArena,
+        out: &mut Vec<f64>,
+    ) {
+        let y = self.forward_flat(feats, rows, arena);
+        let w = self.layers.last().expect("plan has layers").outputs;
+        for r in 0..rows {
+            out.push(y[r * w]);
+        }
+        arena.give(y);
     }
 
     /// Batched inference forward pass.
@@ -223,18 +295,11 @@ impl InferencePlan {
     /// # Panics
     /// Panics if `x` has the wrong feature count.
     pub fn infer_owned(&self, x: Matrix) -> Matrix {
-        assert_eq!(x.cols(), self.inputs(), "feature count mismatch");
-        let mut h = x;
-        let n = self.layers.len();
-        for (i, (w, b)) in self.layers.iter().enumerate() {
-            let mut y = h.matmul(w);
-            y.add_row(b);
-            if i + 1 < n {
-                y.map_inplace(|v| v.max(0.0));
-            }
-            h = y;
-        }
-        h
+        let rows = x.rows();
+        let mut arena = ScratchArena::new();
+        let y = self.forward_flat(x.into_vec(), rows, &mut arena);
+        let w = self.layers.last().expect("plan has layers").outputs;
+        Matrix::from_vec(rows, w, y)
     }
 
     /// Batched prediction: one value per row of `x`.
@@ -244,8 +309,11 @@ impl InferencePlan {
 
     /// Batched prediction, consuming the input batch: one value per row.
     pub fn predict_owned(&self, x: Matrix) -> Vec<f64> {
-        let y = self.infer_owned(x);
-        (0..y.rows()).map(|r| y.at(r, 0)).collect()
+        let rows = x.rows();
+        let mut arena = ScratchArena::new();
+        let mut out = Vec::with_capacity(rows);
+        self.predict_flat_into(x.into_vec(), rows, &mut arena, &mut out);
+        out
     }
 }
 

@@ -92,6 +92,24 @@ impl Preprocessor {
         }
     }
 
+    /// Transforms a flat row-major buffer of raw feature rows into model
+    /// space, in place — the zero-allocation sibling of
+    /// [`Preprocessor::transform_features_inplace`] for arena-backed
+    /// buffers. Identical per-element operations, so bitwise identical
+    /// results.
+    ///
+    /// # Panics
+    /// Panics if `data.len()` is not a multiple of the fitted feature count.
+    pub fn transform_flat_inplace(&self, data: &mut [f64]) {
+        let cols = self.feat_mean.len();
+        assert_eq!(data.len() % cols, 0, "feature count mismatch");
+        for row in data.chunks_mut(cols) {
+            for (c, v) in row.iter_mut().enumerate() {
+                *v = (log2p1(*v) - self.feat_mean[c]) / self.feat_std[c];
+            }
+        }
+    }
+
     /// Transforms a whole raw dataset into model space.
     pub fn transform(&self, data: &Dataset) -> Dataset {
         let rows: Vec<Vec<f64>> =

@@ -4,6 +4,7 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
+use crate::arena::ScratchArena;
 use crate::dataset::Dataset;
 use crate::matrix::Matrix;
 use crate::net::Mlp;
@@ -89,10 +90,40 @@ impl TrainedModel {
         if raw_rows.is_empty() {
             return Vec::new();
         }
+        let x = Matrix::from_rows(raw_rows).expect("uniform non-empty feature rows");
+        let mut arena = ScratchArena::new();
+        let mut out = Vec::with_capacity(raw_rows.len());
+        self.predict_flat_into(x.into_vec(), raw_rows.len(), &mut arena, &mut out);
+        out
+    }
+
+    /// The zero-allocation batch path: consumes a flat row-major buffer of
+    /// *raw* feature rows (checked out of `arena`, returned when done) and
+    /// appends one prediction per row to `out`. Bitwise identical to
+    /// [`TrainedModel::predict_batch`] / [`TrainedModel::predict`] — same
+    /// per-element preprocessing, same planned forward, same inverse map.
+    ///
+    /// # Panics
+    /// Panics if `feats.len() != rows * feature_count`.
+    pub fn predict_flat_into(
+        &self,
+        mut feats: Vec<f64>,
+        rows: usize,
+        arena: &mut ScratchArena,
+        out: &mut Vec<f64>,
+    ) {
+        if rows == 0 {
+            assert!(feats.is_empty(), "feature count mismatch");
+            arena.give(feats);
+            return;
+        }
         let plan = self.plan.get_or_init(|| self.mlp.plan());
-        let mut x = Matrix::from_rows(raw_rows).expect("uniform non-empty feature rows");
-        self.pre.transform_features_inplace(&mut x);
-        plan.predict_owned(x).into_iter().map(|p| self.pre.inverse_target(p)).collect()
+        self.pre.transform_flat_inplace(&mut feats);
+        let start = out.len();
+        plan.predict_flat_into(feats, rows, arena, out);
+        for v in &mut out[start..] {
+            *v = self.pre.inverse_target(*v);
+        }
     }
 }
 

@@ -15,7 +15,7 @@ use std::sync::OnceLock;
 
 use dlrm_perf_model::core::incremental::IncrementalPredictor;
 use dlrm_perf_model::core::pipeline::Pipeline;
-use dlrm_perf_model::core::predictor::Prediction;
+use dlrm_perf_model::core::predictor::{Prediction, WalkScratch};
 use dlrm_perf_model::gpusim::{DeviceSpec, KernelSpec};
 use dlrm_perf_model::graph::transform::{
     fuse_embedding_bags, hoist_earliest, replace_op, resize_batch,
@@ -93,6 +93,10 @@ proptest! {
     ) {
         let (pipe, g, inc) = base();
         let mut mutated = g.clone();
+        // One scratch reused across every mutation in the sequence — the
+        // sweep engine's steady-state shape, so splice-back, dirty walks,
+        // and full fallbacks all run on recycled buffers here.
+        let mut scratch = WalkScratch::new();
         for &(kind, idx) in &muts {
             apply(&mut mutated, kind, idx);
 
@@ -103,7 +107,48 @@ proptest! {
             let cache = MemoCache::new();
             let (memo, _) = inc.repredict(&mutated, Some(&cache)).expect("repredict lowers");
             prop_assert_eq!(bits(&memo), bits(&full), "memoized diverged");
+
+            let (scratched, _) = inc
+                .repredict_scratch(&mutated, None, &mut scratch)
+                .expect("repredict lowers");
+            prop_assert_eq!(bits(&scratched), bits(&full), "scratch-backed diverged");
         }
+    }
+
+    /// An arena-backed splice-back (mutate, undo, repredict on a reused
+    /// scratch) returns the baseline's exact bits, and repeating it in
+    /// steady state never allocates.
+    #[test]
+    fn scratch_splice_back_is_bitwise_and_allocation_free(node_seed in 0usize..4096) {
+        let (pipe, g, inc) = base();
+        let mid = NodeId(node_seed % g.node_count());
+        let original = g.node(mid).expect("node exists").op;
+        let swapped = if original == OpKind::Relu { OpKind::Sigmoid } else { OpKind::Relu };
+
+        let mut mutated = g.clone();
+        replace_op(&mut mutated, mid, swapped, "swap").expect("replace");
+
+        let mut scratch = WalkScratch::new();
+        // Warm the scratch on the dirty graph, then splice back.
+        let full = pipe.predictor().predict(&mutated).expect("full walk lowers");
+        let (dirty, _) = inc
+            .repredict_scratch(&mutated, None, &mut scratch)
+            .expect("repredict lowers");
+        prop_assert_eq!(bits(&dirty), bits(&full));
+
+        let (back, stats) = inc.repredict_scratch(g, None, &mut scratch).expect("repredict");
+        prop_assert!(stats.spliced, "identical graph must splice: {:?}", stats);
+        prop_assert_eq!(bits(&back), bits(&inc.baseline_prediction()));
+
+        let warm = scratch.arena_stats();
+        for _ in 0..3 {
+            let (again, _) =
+                inc.repredict_scratch(&mutated, None, &mut scratch).expect("repredict");
+            prop_assert_eq!(bits(&again), bits(&full));
+        }
+        let steady = scratch.arena_stats();
+        prop_assert_eq!(steady.misses, warm.misses, "steady state must not allocate");
+        prop_assert!(steady.takes > warm.takes);
     }
 
     /// Mutating and then exactly undoing a replacement reconverges to the
