@@ -40,6 +40,7 @@ use std::time::Instant;
 
 use dlperf_bench::{header, interleave_ms};
 use dlperf_core::pipeline::Pipeline;
+use dlperf_core::search::{GraphMoves, NoExtra, OptimizationSearch, SearchConfig};
 use dlperf_core::sweep::{GraphMutation, Scenario, ScenarioMatrix, SweepEngine, SweepOutcome};
 use dlperf_distrib::{CommModel, Topology};
 use dlperf_gpusim::{CollectiveKind, CollectiveSpec, DeviceSpec, KernelSpec};
@@ -462,6 +463,54 @@ fn main() {
         steady_arena.takes, steady_arena.misses, steady_arena.high_water_f64s, steady_arena.pooled
     );
 
+    // ---- Part 2f: the unified optimization search.
+    //
+    // The beam / branch-and-bound search over graph + device moves, with
+    // the incremental predictor as its inner loop. Two keys for the gate:
+    // `search_evals_per_sec` (context: how many candidates a second the
+    // search prices) and `search_incremental_frac` (floored at 0.5 in CI:
+    // the incremental path must carry the search, not fall back to full
+    // walks). The parallel run must match the 1-thread reference bit for
+    // bit — the same determinism contract the sweep triplet pins above.
+    let search_fingerprint = |r: &dlperf_core::OptimizationReport| -> Vec<(String, u64)> {
+        r.ranked.iter().map(|sc| (sc.description.clone(), sc.e2e_us.to_bits())).collect()
+    };
+    let run_search = |threads: usize| {
+        OptimizationSearch::<NoExtra>::new(&pipelines)
+            .with_config(SearchConfig { threads, ..SearchConfig::default() })
+            .with_graph_moves(GraphMoves {
+                batches: vec![256, 1024, 2048],
+                ..GraphMoves::default()
+            })
+            .run(&base)
+            .expect("search runs")
+    };
+    let reference_report = run_search(1);
+    let mut search_report = None;
+    let mut search_ms = f64::INFINITY;
+    for _ in 0..5 {
+        let t0 = Instant::now();
+        let r = run_search(SWEEP_THREADS);
+        search_ms = search_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+        search_report = Some(r);
+    }
+    let search_report = search_report.expect("ran");
+    assert_eq!(
+        search_fingerprint(&reference_report),
+        search_fingerprint(&search_report),
+        "parallel search must be bitwise identical to the 1-thread reference"
+    );
+    let search_evals_per_sec = search_report.evals as f64 / (search_ms / 1e3);
+    let search_incremental_frac = search_report.incremental_frac();
+    println!(
+        "\noptimization search: {} evals, {} prunes in {search_ms:.1} ms \
+         ({search_evals_per_sec:.0} evals/s), incremental fraction {search_incremental_frac:.3}, \
+         best: {}",
+        search_report.evals,
+        search_report.prunes,
+        search_report.ranked.first().map(|sc| sc.description.as_str()).unwrap_or("none")
+    );
+
     let mut doc: BTreeMap<String, String> = BTreeMap::new();
     doc.insert("scenarios".into(), scenarios.len().to_string());
     doc.insert("sweep_threads".into(), effective_threads.to_string());
@@ -499,6 +548,13 @@ fn main() {
     doc.insert("comms_evals".into(), comm_evals.to_string());
     doc.insert("comms_eval_ms".into(), format!("{comms_ms:.3}"));
     doc.insert("comms_evals_per_sec".into(), format!("{comms_evals_per_sec:.0}"));
+    doc.insert("search_evals".into(), search_report.evals.to_string());
+    doc.insert("search_ms".into(), format!("{search_ms:.3}"));
+    doc.insert("search_evals_per_sec".into(), format!("{search_evals_per_sec:.0}"));
+    doc.insert(
+        "search_incremental_frac".into(),
+        format!("{search_incremental_frac:.4}"),
+    );
 
     let path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .join("../../BENCH_sweep.json");

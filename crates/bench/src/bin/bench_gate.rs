@@ -45,11 +45,14 @@ const CEILINGS: [(&str, f64); 1] = [("obs_overhead_pct", 3.0)];
 /// runner usually lands t2 ≈ 0.6–0.9, t4 ≈ 0.4–0.7): they catch the
 /// failure mode where added synchronization makes extra workers pure
 /// overhead, not ordinary scheduler noise.
-const FLOORS: [(&str, f64); 4] = [
+const FLOORS: [(&str, f64); 5] = [
     ("batched_speedup", 1.15),
     ("parallel_efficiency_t2", 0.35),
     ("parallel_efficiency_t4", 0.20),
     ("parallel_efficiency_t8", 0.10),
+    // The optimization search's inner loop must be carried by the
+    // incremental predictor, not full-walk fallbacks.
+    ("search_incremental_frac", 0.5),
 ];
 /// Run-configuration keys echoed (never gated) so the log records the
 /// threading context the gated ratios were measured under, plus the
@@ -58,7 +61,8 @@ const FLOORS: [(&str, f64); 4] = [
 /// `BENCH_sweep.json` (echoed for the same reason: wall-clock and RSS
 /// on shared runners are too noisy to floor — the invariants those
 /// numbers ride on are asserted by tests, not this diff).
-const CONTEXT_KEYS: [&str; 12] = [
+const CONTEXT_KEYS: [&str; 13] = [
+    "search_evals_per_sec",
     "sweep_threads",
     "effective_threads",
     "host_threads",

@@ -41,6 +41,7 @@ pub mod ingest;
 pub mod pipeline;
 pub mod predictor;
 pub mod report;
+pub mod search;
 pub mod sweep;
 
 pub use incremental::{IncrementalPredictor, IncrementalStats};
@@ -53,8 +54,12 @@ pub use predictor::{
     E2ePredictor, OverheadGranularity, PredictError, Prediction, T4Policy, WalkScratch,
 };
 pub use report::{ErrorSummary, PredictionRow};
+pub use search::{
+    Candidate, DeviceMoves, ExtraScorer, GraphMoves, MoveGenerator, NoExtra, OptimizationReport,
+    OptimizationSearch, ScoredCandidate, SearchConfig, SearchError,
+};
 pub use sweep::{
-    par_map, par_map_with, prepare_graph, GraphMutation, IncrementalSummary, PreparedStore,
-    PreparedStoreStats, Scenario, ScenarioMatrix, ScenarioResult, SweepEngine, SweepOutcome,
-    SweepState, DEFAULT_MEMO_CAPACITY,
+    par_map, par_map_with, prepare_graph, GraphMutation, IncrementalSummary, MutationError,
+    PreparedStore, PreparedStoreStats, Scenario, ScenarioMatrix, ScenarioResult, SweepEngine,
+    SweepOutcome, SweepState, DEFAULT_MEMO_CAPACITY,
 };

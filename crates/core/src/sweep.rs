@@ -35,7 +35,9 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use dlperf_graph::transform::{fuse_embedding_bags, hoist_earliest, replace_op, resize_batch};
+use dlperf_graph::transform::{
+    fuse_embedding_bags, hoist_earliest, replace_op, resize_batch, TransformError,
+};
 use dlperf_graph::{Graph, NodeId, OpKind};
 use dlperf_kernels::{CachePadded, MemoCache, MemoCacheStats};
 use dlperf_runtime::{
@@ -70,6 +72,73 @@ pub enum GraphMutation {
         /// The operator to substitute.
         op: OpKind,
     },
+}
+
+impl std::fmt::Display for GraphMutation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphMutation::ResizeBatch(b) => write!(f, "resize batch to {b}"),
+            GraphMutation::FuseEmbeddingBags => write!(f, "fuse embedding bags"),
+            GraphMutation::HoistAll => write!(f, "hoist all movable ops"),
+            GraphMutation::HoistNode(i) => write!(f, "hoist node {i}"),
+            GraphMutation::ReplaceOp { node, op } => {
+                write!(f, "replace op at node {node} with {op:?}")
+            }
+        }
+    }
+}
+
+/// Why preparing a mutated graph failed — the typed replacement for the
+/// stringly `Result<Graph, String>` that used to flow through
+/// [`prepare_graph`], the [`PreparedStore`], and the serve model registry.
+/// The failing mutation rides along so rankers and servers can say *which*
+/// rewrite was rejected, not just why.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MutationError {
+    /// A transform rejected the graph: its precondition failed, it found
+    /// nothing to do, or it would have violated a data dependency.
+    Transform {
+        /// The mutation whose transform failed.
+        mutation: GraphMutation,
+        /// The transform-layer diagnosis.
+        source: TransformError,
+    },
+}
+
+impl MutationError {
+    /// The mutation that failed.
+    pub fn mutation(&self) -> &GraphMutation {
+        match self {
+            MutationError::Transform { mutation, .. } => mutation,
+        }
+    }
+
+    /// The underlying transform error.
+    pub fn source(&self) -> &TransformError {
+        match self {
+            MutationError::Transform { source, .. } => source,
+        }
+    }
+}
+
+impl std::fmt::Display for MutationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MutationError::Transform { mutation, source } => {
+                // Keeps the historical "transform failed: …" prefix that
+                // downstream error strings (and tests) key on.
+                write!(f, "transform failed: {source} (while applying: {mutation})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MutationError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MutationError::Transform { source, .. } => Some(source),
+        }
+    }
 }
 
 /// One cell of a what-if matrix: which pipeline prices which mutated
@@ -438,8 +507,8 @@ where
 /// invisible to results.
 ///
 /// # Errors
-/// A human-readable description of the first transform that failed.
-pub fn prepare_graph(base: &Graph, mutations: &[GraphMutation]) -> Result<Graph, String> {
+/// [`MutationError`] identifying the first transform that failed and why.
+pub fn prepare_graph(base: &Graph, mutations: &[GraphMutation]) -> Result<Graph, MutationError> {
     let _span = dlperf_obs::span("sweep.prepare", dlperf_obs::SpanKind::Phase);
     let mut g = base.clone();
     for m in mutations {
@@ -455,7 +524,7 @@ pub fn prepare_graph(base: &Graph, mutations: &[GraphMutation]) -> Result<Graph,
             }
             GraphMutation::HoistNode(i) => {
                 if *i >= g.node_count() {
-                    Err(dlperf_graph::transform::TransformError::Precondition(format!(
+                    Err(TransformError::Precondition(format!(
                         "node position {i} out of range ({} nodes)",
                         g.node_count()
                     )))
@@ -471,7 +540,7 @@ pub fn prepare_graph(base: &Graph, mutations: &[GraphMutation]) -> Result<Graph,
             }
         };
         if let Err(e) = r {
-            return Err(format!("transform failed: {e}"));
+            return Err(MutationError::Transform { mutation: m.clone(), source: e });
         }
     }
     Ok(g)
@@ -494,7 +563,7 @@ pub struct PreparedStoreStats {
 
 /// A prepared graph (or the preparation error) plus the epoch stamp of
 /// its last access.
-type StampedGraph = (Arc<Result<Graph, String>>, u64);
+type StampedGraph = (Arc<Result<Graph, MutationError>>, u64);
 
 #[derive(Debug, Default)]
 struct PreparedInner {
@@ -590,7 +659,7 @@ impl PreparedStore {
     }
 
     /// The prepared graph for `mutations`, refreshing its LRU stamp.
-    pub fn get(&self, mutations: &[GraphMutation]) -> Option<Arc<Result<Graph, String>>> {
+    pub fn get(&self, mutations: &[GraphMutation]) -> Option<Arc<Result<Graph, MutationError>>> {
         let mut inner = self.inner.lock().expect("prepared store poisoned");
         inner.epoch += 1;
         let stamp = inner.epoch;
@@ -614,8 +683,8 @@ impl PreparedStore {
     pub fn insert(
         &self,
         mutations: Vec<GraphMutation>,
-        graph: Arc<Result<Graph, String>>,
-    ) -> Arc<Result<Graph, String>> {
+        graph: Arc<Result<Graph, MutationError>>,
+    ) -> Arc<Result<Graph, MutationError>> {
         let mut inner = self.inner.lock().expect("prepared store poisoned");
         inner.epoch += 1;
         let stamp = inner.epoch;
@@ -698,18 +767,18 @@ pub struct SweepEngine {
 
 /// A [`WalkScratch`] checked out of an engine's pool, returned on drop so
 /// worker panics and early exits cannot leak grown capacity.
-struct PooledScratch<'a> {
+pub(crate) struct PooledScratch<'a> {
     pool: &'a Mutex<Vec<WalkScratch>>,
     scratch: Option<WalkScratch>,
 }
 
 impl<'a> PooledScratch<'a> {
-    fn checkout(pool: &'a Mutex<Vec<WalkScratch>>) -> Self {
+    pub(crate) fn checkout(pool: &'a Mutex<Vec<WalkScratch>>) -> Self {
         let scratch = pool.lock().expect("scratch pool poisoned").pop().unwrap_or_default();
         PooledScratch { pool, scratch: Some(scratch) }
     }
 
-    fn get(&mut self) -> &mut WalkScratch {
+    pub(crate) fn get(&mut self) -> &mut WalkScratch {
         self.scratch.as_mut().expect("scratch present until drop")
     }
 }
@@ -880,7 +949,7 @@ impl SweepEngine {
     fn price(
         &self,
         s: &Scenario,
-        prepared: &Result<Graph, String>,
+        prepared: &Result<Graph, MutationError>,
         baseline: Option<&IncrementalPredictor>,
         scratch: &mut WalkScratch,
     ) -> (ScenarioResult, Option<IncrementalStats>) {
@@ -911,7 +980,7 @@ impl SweepEngine {
                     ScenarioResult {
                         label: s.label.clone(),
                         prediction: None,
-                        error: Some(e.clone()),
+                        error: Some(e.to_string()),
                     },
                     None,
                 )
@@ -982,7 +1051,7 @@ impl SweepEngine {
             }
             let base_index = base.index();
             self.prepared.rebase(&base_index);
-            let stored: Vec<Option<Arc<Result<Graph, String>>>> =
+            let stored: Vec<Option<Arc<Result<Graph, MutationError>>>> =
                 unique.iter().map(|muts| self.prepared.get(muts)).collect();
             let missing: Vec<&[GraphMutation]> = unique
                 .iter()
@@ -999,7 +1068,7 @@ impl SweepEngine {
             // here keep this run's graphs alive even if a capped store
             // evicts them mid-run.
             let mut fresh_iter = fresh.into_iter();
-            let prepared: Vec<Option<Arc<Result<Graph, String>>>> = unique
+            let prepared: Vec<Option<Arc<Result<Graph, MutationError>>>> = unique
                 .iter()
                 .zip(stored)
                 .map(|(muts, slot)| match slot {

@@ -38,6 +38,7 @@ pub mod comms;
 pub mod engine;
 pub mod plan;
 pub mod predictor;
+pub mod search;
 pub mod sweep;
 pub mod topology;
 
@@ -46,6 +47,7 @@ pub use comms::{CollectiveEstimate, CommModel};
 pub use engine::{DistributedRunResult, MultiGpuEngine};
 pub use plan::ShardingPlan;
 pub use predictor::{DistributedPrediction, DistributedPredictor, SegmentBaselines};
+pub use search::{DistribAxis, DistribMove};
 pub use sweep::{
     enumerate_matrix, enumerate_plans, sweep_shardings, ShardingResult, ShardingScenario,
     ShardingSweepOutcome,

@@ -5,7 +5,7 @@ use serde::{Deserialize, Serialize};
 use crate::DistribError;
 
 /// An assignment of embedding tables to GPUs: `assignment[table] = rank`.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct ShardingPlan {
     assignment: Vec<usize>,
     world: usize,
@@ -65,6 +65,49 @@ impl ShardingPlan {
     /// The raw assignment.
     pub fn assignment(&self) -> &[usize] {
         &self.assignment
+    }
+
+    /// Rebalance neighbors of this plan: every plan reachable by
+    /// reassigning exactly one table to a different rank, enumerated in a
+    /// deterministic order (table-major, then target rank ascending).
+    /// This is the sharding move set the optimization-search layer
+    /// expands.
+    pub fn rebalance_moves(&self) -> Vec<ShardingPlan> {
+        let mut out = Vec::new();
+        for table in 0..self.assignment.len() {
+            for rank in 0..self.world {
+                if rank == self.assignment[table] {
+                    continue;
+                }
+                let mut a = self.assignment.clone();
+                a[table] = rank;
+                out.push(ShardingPlan { assignment: a, world: self.world });
+            }
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for ShardingPlan {
+    /// Renders per-rank table counts plus the assignment, e.g.
+    /// `shard[w4: 7/7/6/6; t0->r0 t1->r1 ..]` truncated past 8 tables —
+    /// compact enough for report lines, precise enough to reproduce.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut counts = vec![0usize; self.world];
+        for &r in &self.assignment {
+            counts[r] += 1;
+        }
+        let loads: Vec<String> = counts.iter().map(|c| c.to_string()).collect();
+        write!(f, "shard[w{}: {}", self.world, loads.join("/"))?;
+        let shown = self.assignment.len().min(8);
+        write!(f, ";")?;
+        for (t, &r) in self.assignment.iter().take(shown).enumerate() {
+            write!(f, " t{t}->r{r}")?;
+        }
+        if self.assignment.len() > shown {
+            write!(f, " .. ({} tables)", self.assignment.len())?;
+        }
+        write!(f, "]")
     }
 }
 

@@ -8,12 +8,16 @@
 //! [`TransformError`].
 
 pub mod fuse;
+pub mod legality;
 pub mod parallelize;
 pub mod reorder;
 pub mod resize;
 pub mod surgery;
 
 pub use fuse::{fuse_embedding_bags, FusionReport};
+pub use legality::{
+    can_fuse_embedding_bags, can_hoist, can_replace_op, can_resize_batch, hoistable_nodes,
+};
 pub use parallelize::{independent_groups, parallelize};
 pub use reorder::{hoist_earliest, move_node};
 pub use resize::resize_batch;

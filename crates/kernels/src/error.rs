@@ -2,7 +2,7 @@
 
 /// Error statistics over a set of (prediction, actual) pairs, as absolute
 /// relative errors.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct ErrorStats {
     /// Geometric mean of the absolute relative errors (the paper's GMAE).
     pub gmae: f64,

@@ -10,6 +10,7 @@ use dlperf_nn::dataset::Dataset;
 use dlperf_nn::gridsearch::{grid_search, SearchSpace};
 use dlperf_nn::train::{train, TrainConfig, TrainedModel};
 
+use crate::error::ErrorStats;
 use crate::microbench::Sample;
 
 /// Shape features of a kernel, used as MLP inputs.
@@ -108,6 +109,11 @@ pub struct MlKernelModel {
     /// bias; multiplying by the training set's geometric mean ratio
     /// `actual / predicted` removes it without touching the GMAE.
     correction: f64,
+    /// Training-set error statistics of the final (corrected, clamped)
+    /// model, measured at train time and persisted with the bundle.
+    /// `None` for bundles written before stats were recorded.
+    #[serde(default)]
+    stats: Option<ErrorStats>,
 }
 
 impl MlKernelModel {
@@ -127,7 +133,9 @@ impl MlKernelModel {
             })
             .sum();
         let correction = (log_ratio_sum / samples.len() as f64).exp();
-        MlKernelModel { family, model, correction }
+        let mut m = MlKernelModel { family, model, correction, stats: None };
+        m.stats = m.measure_stats(samples);
+        m
     }
 
     /// Trains via the Table II grid search, keeping the configuration with
@@ -151,7 +159,23 @@ impl MlKernelModel {
             })
             .sum();
         let correction = (log_ratio_sum / samples.len() as f64).exp();
-        MlKernelModel { family, model, correction }
+        let mut m = MlKernelModel { family, model, correction, stats: None };
+        m.stats = m.measure_stats(samples);
+        m
+    }
+
+    /// Error statistics of the finished model over its own training set —
+    /// prediction exactly as served (correction and clamp included).
+    fn measure_stats(&self, samples: &[Sample]) -> Option<ErrorStats> {
+        let preds: Vec<f64> = samples.iter().map(|s| self.predict(&s.kernel)).collect();
+        let actual: Vec<f64> = samples.iter().map(|s| s.time_us).collect();
+        ErrorStats::try_from_pairs(&preds, &actual).ok()
+    }
+
+    /// The training-time error statistics, if this model (or the bundle it
+    /// was loaded from) recorded them.
+    pub fn error_stats(&self) -> Option<ErrorStats> {
+        self.stats
     }
 
     /// The family this model predicts.

@@ -15,6 +15,7 @@ use dlperf_gpusim::{DeviceSpec, KernelFamily, KernelSpec, MemcpyKind};
 use dlperf_nn::arena::ScratchArena;
 use dlperf_nn::train::TrainConfig;
 
+use crate::error::ErrorStats;
 use crate::heuristic::embedding::{EmbeddingModel, EmbeddingModelKind};
 use crate::heuristic::roofline::RooflineModel;
 use crate::microbench::{self, Microbenchmark};
@@ -107,6 +108,14 @@ pub trait KernelPerfModel: Send + Sync {
     }
     /// Short model name for reports, e.g. `"ML(GEMM)"`.
     fn name(&self) -> String;
+    /// Validation-error statistics from calibration, when the model kept
+    /// them. Heuristic models (roofline, embedding) have no training set
+    /// and return `None`; ML models trained by recent calibrations return
+    /// the stats their training run measured. Consumers (the optimization
+    /// search) use these to attach confidence intervals to predictions.
+    fn error_stats(&self) -> Option<ErrorStats> {
+        None
+    }
 }
 
 impl KernelPerfModel for EmbeddingModel {
@@ -147,6 +156,9 @@ impl KernelPerfModel for MlKernelModel {
     }
     fn name(&self) -> String {
         format!("ML({})", self.family())
+    }
+    fn error_stats(&self) -> Option<ErrorStats> {
+        MlKernelModel::error_stats(self)
     }
 }
 
@@ -234,6 +246,44 @@ impl ModelRegistry {
     /// The model registered for a family.
     pub fn get(&self, family: KernelFamily) -> Option<&Arc<dyn KernelPerfModel>> {
         self.models.get(&family)
+    }
+
+    /// Calibration error statistics aggregated across every registered
+    /// model that kept them, count-weighted. Families are visited in
+    /// [`KernelFamily::ALL`] order — never `HashMap` iteration order — so
+    /// the aggregate is a deterministic function of the registry contents
+    /// and the confidence intervals derived from it are reproducible bit
+    /// for bit.
+    ///
+    /// Returns `None` when no model carries stats (heuristic-only
+    /// registries, or bundles persisted before stats were recorded).
+    pub fn error_stats(&self) -> Option<ErrorStats> {
+        let mut gmae_log = 0.0f64;
+        let mut mean_acc = 0.0f64;
+        let mut var_acc = 0.0f64;
+        let mut count = 0usize;
+        for family in KernelFamily::ALL {
+            let Some(stats) = self.models.get(&family).and_then(|m| m.error_stats()) else {
+                continue;
+            };
+            let n = stats.count as f64;
+            // Count-weighted pooling: GMAE combines in log space (it is a
+            // geometric mean), mean and variance arithmetically.
+            gmae_log += n * stats.gmae.max(f64::MIN_POSITIVE).ln();
+            mean_acc += n * stats.mean;
+            var_acc += n * stats.std * stats.std;
+            count += stats.count;
+        }
+        if count == 0 {
+            return None;
+        }
+        let n = count as f64;
+        Some(ErrorStats {
+            gmae: (gmae_log / n).exp(),
+            mean: mean_acc / n,
+            std: (var_acc / n).sqrt(),
+            count,
+        })
     }
 
     /// Predicted execution time of `kernel` in microseconds, or an error

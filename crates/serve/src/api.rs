@@ -39,6 +39,8 @@ pub enum Op {
     Predict(PredictQuery),
     /// Rank candidate configurations against an objective.
     Recommend(RecommendQuery),
+    /// Search the unified what-if space for the top-k optimizations.
+    Optimize(OptimizeQuery),
     /// Server counters and cache statistics.
     Stats,
     /// Liveness probe.
@@ -83,20 +85,87 @@ pub struct RecommendQuery {
     /// models); empty skips the sharding axis.
     pub world_sizes: Vec<usize>,
     /// Parallelism strategies for the multi-GPU axis (`"hybrid"`, `"dp"`,
-    /// `"mp"`, `"pp"`); empty means hybrid only. Only used with
+    /// `"mp"`, `"pp"`); absent or empty means hybrid only. Only used with
     /// `world_sizes`. Unknown names are a typed `NotFound` error.
-    #[serde(default)]
-    pub strategies: Vec<String>,
+    /// (`Option` rather than a bare `Vec` so the field can be omitted
+    /// from the request JSON — the vendored serde only defaults `Option`
+    /// fields.)
+    pub strategies: Option<Vec<String>>,
     /// Interconnect topologies to price collectives on (`"auto"`,
-    /// `"nvlink"`, `"pcie"`, `"ib<N>x<G>"`); empty means the
+    /// `"nvlink"`, `"pcie"`, `"ib<N>x<G>"`); absent or empty means the
     /// device-derived default. Unknown names price conservatively and the
     /// candidate is labeled degraded — never silently dropped.
-    #[serde(default)]
-    pub topologies: Vec<String>,
+    pub topologies: Option<Vec<String>>,
     /// Ranking objective.
     pub objective: Objective,
     /// Per-request deadline; the server default applies when absent.
     pub deadline_ms: Option<f64>,
+}
+
+/// An optimization-search query: which combination of graph rewrites,
+/// batch changes, and device moves buys back the most iteration time?
+/// Served by the same beam / branch-and-bound search as the offline
+/// `dlperf_core::OptimizationSearch`, so an admitted answer is bitwise
+/// identical to running that search offline on the same inputs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OptimizeQuery {
+    /// Model name from the catalog.
+    pub model: String,
+    /// Batch size the search starts from (the baseline configuration).
+    pub batch: u64,
+    /// Device names forming the device axis; the first is the baseline
+    /// device. Absent or empty means every device the server holds,
+    /// sorted by name. (`Option` rather than a bare `Vec` so the field
+    /// can be omitted from the request JSON — the vendored serde only
+    /// defaults `Option` fields.)
+    pub devices: Option<Vec<String>>,
+    /// Batch sizes `ResizeBatch` moves may target; absent or empty skips
+    /// the batch-resize axis.
+    pub batches: Option<Vec<u64>>,
+    /// Beam width (candidates expanded per depth); server default 8.
+    pub beam_width: Option<usize>,
+    /// Maximum moves composed on one path; server default 2.
+    pub max_depth: Option<usize>,
+    /// Entries in the ranked answer; server default 10.
+    pub top_k: Option<usize>,
+    /// Per-request deadline; the server default applies when absent.
+    pub deadline_ms: Option<f64>,
+}
+
+/// One ranked optimization in an [`OptimizationBody`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OptimizationEntry {
+    /// Human-readable move list, e.g. `"fuse embedding bags [on P100]"`.
+    pub description: String,
+    /// Predicted end-to-end iteration time (µs).
+    pub e2e_us: f64,
+    /// `baseline − e2e`: microseconds bought back per iteration.
+    pub delta_us: f64,
+    /// `baseline / e2e` (> 1 = faster than baseline).
+    pub speedup: f64,
+    /// Lower edge of the one-sigma confidence band (µs), when the pricing
+    /// device's kernel models kept calibration error statistics.
+    pub ci_low_us: Option<f64>,
+    /// Upper edge of the one-sigma confidence band (µs).
+    pub ci_high_us: Option<f64>,
+    /// Whether the incremental predictor served this evaluation without a
+    /// full-walk fallback.
+    pub incremental: bool,
+}
+
+/// The optimization search's answer: ranked "optimizations worth doing".
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OptimizationBody {
+    /// Predicted time of the unmodified baseline (µs).
+    pub baseline_e2e_us: f64,
+    /// Top-k candidates, fastest predicted time first.
+    pub ranked: Vec<OptimizationEntry>,
+    /// Candidates priced.
+    pub evals: u64,
+    /// Candidates cut by the branch-and-bound bound.
+    pub prunes: u64,
+    /// Fraction of evaluations served by the incremental predictor.
+    pub incremental_frac: f64,
 }
 
 /// One response envelope.
@@ -115,6 +184,8 @@ pub enum Body {
     Prediction(PredictionBody),
     /// A ranked configuration search.
     Recommendation(RecommendationBody),
+    /// A ranked optimization search.
+    Optimization(OptimizationBody),
     /// Server counters.
     Stats(StatsBody),
     /// Liveness answer.

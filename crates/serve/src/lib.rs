@@ -15,7 +15,11 @@
 //!   degrades to roofline answers, per-request panic isolation, and
 //!   worker self-healing;
 //! * [`recommend`] (served as `Op::Recommend`) — the objective-driven
-//!   configuration recommender.
+//!   configuration recommender;
+//! * [`optimize`] (served as `Op::Optimize`) — the unified
+//!   [`dlperf_core::OptimizationSearch`] behind the wire protocol: ranked
+//!   graph-rewrite / batch / device optimizations with predicted deltas
+//!   and confidence bands.
 //!
 //! Answers for admitted full-fidelity requests are bitwise identical to
 //! the offline [`dlperf_core::pipeline::Pipeline::predict_memoized`] path:
@@ -23,12 +27,14 @@
 //! never *what* an answered request says.
 
 pub mod api;
+mod optimize;
 mod recommend;
 mod server;
 
 pub use api::{
-    Body, ConfigChoice, ErrorBody, ErrorCode, Objective, Op, PredictQuery, PredictionBody,
-    RecommendQuery, RecommendationBody, RejectedConfig, Request, Response, StatsBody,
+    Body, ConfigChoice, ErrorBody, ErrorCode, Objective, Op, OptimizationBody, OptimizationEntry,
+    OptimizeQuery, PredictQuery, PredictionBody, RecommendQuery, RecommendationBody,
+    RejectedConfig, Request, Response, StatsBody,
 };
 pub use server::{Server, ServerConfig};
 
@@ -314,8 +320,8 @@ mod tests {
                 devices: vec![],
                 max_latency_ms: None,
                 world_sizes: vec![],
-                strategies: vec![],
-                topologies: vec![],
+                strategies: None,
+                topologies: None,
                 objective: Objective::Latency,
                 deadline_ms: Some(60_000.0),
             }),
@@ -341,8 +347,8 @@ mod tests {
                 devices: vec!["v100".into()],
                 max_latency_ms: Some(floor_ms / 100.0),
                 world_sizes: vec![],
-                strategies: vec![],
-                topologies: vec![],
+                strategies: None,
+                topologies: None,
                 objective: Objective::Throughput,
                 deadline_ms: Some(60_000.0),
             }),
@@ -434,8 +440,8 @@ mod tests {
                 devices: vec!["v100".into(), "p100".into(), "tesla-v100".into()],
                 max_latency_ms: None,
                 world_sizes: vec![],
-                strategies: vec![],
-                topologies: vec![],
+                strategies: None,
+                topologies: None,
                 objective: Objective::Latency,
                 deadline_ms: Some(60_000.0),
             }),
@@ -470,8 +476,8 @@ mod tests {
                 devices: vec!["v100".into()],
                 max_latency_ms: None,
                 world_sizes: vec![2],
-                strategies: vec!["dp".into(), "hybrid".into()],
-                topologies: vec!["nvlink".into()],
+                strategies: Some(vec!["dp".into(), "hybrid".into()]),
+                topologies: Some(vec!["nvlink".into()]),
                 objective: Objective::Latency,
                 deadline_ms: Some(120_000.0),
             }),
@@ -513,8 +519,8 @@ mod tests {
                 devices: vec!["v100".into()],
                 max_latency_ms: None,
                 world_sizes: vec![2],
-                strategies: vec!["tensor-magic".into()],
-                topologies: vec![],
+                strategies: Some(vec!["tensor-magic".into()]),
+                topologies: None,
                 objective: Objective::Latency,
                 deadline_ms: Some(120_000.0),
             }),
@@ -534,8 +540,8 @@ mod tests {
                 devices: vec!["v100".into()],
                 max_latency_ms: None,
                 world_sizes: vec![2],
-                strategies: vec![],
-                topologies: vec!["quantum-fabric".into()],
+                strategies: None,
+                topologies: Some(vec!["quantum-fabric".into()]),
                 objective: Objective::Latency,
                 deadline_ms: Some(120_000.0),
             }),
@@ -551,6 +557,76 @@ mod tests {
                 );
             }
             other => panic!("expected recommendation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn optimize_matches_offline_search_bitwise() {
+        use dlperf_core::{GraphMoves, NoExtra, OptimizationSearch, SearchConfig};
+
+        let pipelines = vec![
+            quick_pipeline_for(&DeviceSpec::v100()),
+            quick_pipeline_for(&DeviceSpec::p100()),
+        ];
+        // The offline reference: same pipelines, same graph, same knobs.
+        let base = prepare_graph(
+            &zoo::build("dlrm-default", 512).unwrap(),
+            &[GraphMutation::ResizeBatch(512)],
+        )
+        .unwrap();
+        let offline = OptimizationSearch::<NoExtra>::new(&pipelines)
+            .with_config(SearchConfig { max_depth: 2, ..SearchConfig::default() })
+            .with_graph_moves(GraphMoves { batches: vec![256, 1024], ..GraphMoves::default() })
+            .run(&base)
+            .unwrap();
+
+        let server =
+            Server::start(pipelines, &["dlrm-default"], small_config(), None).unwrap();
+        let resp = server.submit(Request {
+            id: 70,
+            op: Op::Optimize(OptimizeQuery {
+                model: "dlrm-default".into(),
+                batch: 512,
+                devices: Some(vec!["tesla-v100".into(), "v100".into(), "p100".into()]),
+                batches: Some(vec![256, 1024]),
+                beam_width: None,
+                max_depth: None,
+                top_k: None,
+                deadline_ms: Some(120_000.0),
+            }),
+        });
+        let body = match resp.body {
+            Body::Optimization(b) => b,
+            other => panic!("expected optimization, got {other:?}"),
+        };
+        assert_eq!(body.baseline_e2e_us.to_bits(), offline.baseline_e2e_us.to_bits());
+        assert_eq!(body.ranked.len(), offline.ranked.len());
+        for (served, off) in body.ranked.iter().zip(&offline.ranked) {
+            assert_eq!(served.description, off.description);
+            assert_eq!(served.e2e_us.to_bits(), off.e2e_us.to_bits());
+            assert_eq!(served.delta_us.to_bits(), off.delta_us.to_bits());
+        }
+        assert!(!body.ranked.is_empty());
+        assert!(body.ranked[0].delta_us >= 0.0, "top entry must not lose time");
+        assert!(body.evals >= body.ranked.len() as u64);
+
+        // Unknown names stay typed errors on this op too.
+        let resp = server.submit(Request {
+            id: 71,
+            op: Op::Optimize(OptimizeQuery {
+                model: "alexnet".into(),
+                batch: 512,
+                devices: None,
+                batches: None,
+                beam_width: None,
+                max_depth: None,
+                top_k: None,
+                deadline_ms: None,
+            }),
+        });
+        match resp.body {
+            Body::Error(e) => assert_eq!(e.code, 404),
+            other => panic!("expected 404, got {other:?}"),
         }
     }
 

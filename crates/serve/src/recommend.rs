@@ -55,7 +55,7 @@ pub(crate) fn run(shared: &Shared, q: &RecommendQuery, token: &CancellationToken
     // while topology names always resolve — unknown ones price on the
     // most conservative shape and surface as degraded candidates.
     let mut strategies: Vec<ParallelismStrategy> = Vec::new();
-    for name in &q.strategies {
+    for name in q.strategies.as_deref().unwrap_or_default() {
         match ParallelismStrategy::from_name(name) {
             Some(s) if !strategies.contains(&s) => strategies.push(s),
             Some(_) => {}
@@ -70,10 +70,11 @@ pub(crate) fn run(shared: &Shared, q: &RecommendQuery, token: &CancellationToken
     if strategies.is_empty() {
         strategies.push(ParallelismStrategy::Hybrid);
     }
-    let topology_names: Vec<&str> = if q.topologies.is_empty() {
+    let requested_topologies = q.topologies.as_deref().unwrap_or_default();
+    let topology_names: Vec<&str> = if requested_topologies.is_empty() {
         vec!["auto"]
     } else {
-        q.topologies.iter().map(String::as_str).collect()
+        requested_topologies.iter().map(String::as_str).collect()
     };
 
     let mut ranked: Vec<ConfigChoice> = Vec::new();

@@ -152,7 +152,7 @@ impl ModelEntry {
     /// The model's graph resized to `batch`, from the bounded store —
     /// a pure function of `(base, batch)`, so cache hits, misses, and
     /// evictions cannot change the value.
-    pub(crate) fn graph(&self, batch: u64) -> Arc<Result<Graph, String>> {
+    pub(crate) fn graph(&self, batch: u64) -> Arc<Result<Graph, dlperf_core::MutationError>> {
         let muts = vec![GraphMutation::ResizeBatch(batch)];
         if let Some(g) = self.prepared.get(&muts) {
             return g;
@@ -566,6 +566,7 @@ impl Op {
         match self {
             Op::Predict(q) => q.deadline_ms,
             Op::Recommend(q) => q.deadline_ms,
+            Op::Optimize(q) => q.deadline_ms,
             Op::Stats | Op::Ping => None,
         }
     }
@@ -586,6 +587,7 @@ fn route(shared: &Arc<Shared>, op: &Op, token: &CancellationToken) -> Routed {
         Op::Stats => Routed::Body(Body::Stats(shared.stats())),
         Op::Predict(q) => route_predict(shared, q, token),
         Op::Recommend(q) => Routed::Body(crate::recommend::run(shared, q, token)),
+        Op::Optimize(q) => Routed::Body(crate::optimize::run(shared, q, token)),
     }
 }
 

@@ -12,7 +12,9 @@
 //!    growth.
 //! 4. **Answers stay exact** — every admitted full-fidelity prediction is
 //!    bitwise identical to `Pipeline::predict_memoized` run offline on
-//!    the same prepared graph before the server ever started.
+//!    the same prepared graph before the server ever started, and every
+//!    admitted `Op::Optimize` report is bitwise identical to
+//!    `OptimizationSearch` run offline on the same inputs.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -20,12 +22,16 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use dlperf_core::pipeline::Pipeline;
-use dlperf_core::{prepare_graph, GraphMutation};
+use dlperf_core::{
+    prepare_graph, GraphMoves, GraphMutation, NoExtra, OptimizationSearch, SearchConfig,
+};
 use dlperf_faults::FaultPlan;
 use dlperf_gpusim::DeviceSpec;
 use dlperf_kernels::{CalibrationEffort, MemoCache};
 use dlperf_models::zoo;
-use dlperf_serve::{Body, Op, PredictQuery, Request, Response, Server, ServerConfig};
+use dlperf_serve::{
+    Body, Op, OptimizeQuery, PredictQuery, Request, Response, Server, ServerConfig,
+};
 
 const TOTAL_REQUESTS: u64 = 10_000;
 const CLIENTS: u64 = 8;
@@ -38,6 +44,10 @@ const BASE_BATCH: u64 = 512;
 fn batch_for(i: u64) -> u64 {
     64 + 8 * (i % DISTINCT_BATCHES)
 }
+
+/// Expected Optimize answer: baseline bits plus per-entry
+/// (description, e2e bits, delta bits).
+type OptExpected = (u64, Vec<(String, u64, u64)>);
 
 const MALFORMED: [&str; 8] = [
     "",
@@ -69,6 +79,26 @@ fn server_survives_chaos_with_bounded_memory_and_exact_answers() {
         expected.insert(batch, pred.e2e_us.to_bits());
     }
     let expected = Arc::new(expected);
+
+    // Offline optimization-search reference for the `Op::Optimize` lane:
+    // same pipeline, same prepared base graph, same knobs the storm's
+    // optimize requests carry. Served reports must match this bit for bit.
+    const OPT_BATCHES: [u64; 2] = [256, 1024];
+    let opt_base = prepare_graph(&base, &[GraphMutation::ResizeBatch(BASE_BATCH)])
+        .expect("resize succeeds");
+    let opt_reference = OptimizationSearch::<NoExtra>::new(std::slice::from_ref(&pipeline))
+        .with_config(SearchConfig { max_depth: 1, ..SearchConfig::default() })
+        .with_graph_moves(GraphMoves { batches: OPT_BATCHES.to_vec(), ..GraphMoves::default() })
+        .run(&opt_base)
+        .expect("offline search");
+    let opt_expected: Arc<OptExpected> = Arc::new((
+        opt_reference.baseline_e2e_us.to_bits(),
+        opt_reference
+            .ranked
+            .iter()
+            .map(|sc| (sc.description.clone(), sc.e2e_us.to_bits(), sc.delta_us.to_bits()))
+            .collect(),
+    ));
 
     let cfg = ServerConfig {
         workers: 4,
@@ -122,6 +152,7 @@ fn server_survives_chaos_with_bounded_memory_and_exact_answers() {
         .map(|c| {
             let server = Arc::clone(&server);
             let expected = Arc::clone(&expected);
+            let opt_expected = Arc::clone(&opt_expected);
             std::thread::spawn(move || {
                 let mut responses = 0u64;
                 let mut exact = 0u64;
@@ -148,6 +179,50 @@ fn server_survives_chaos_with_bounded_memory_and_exact_answers() {
                                 e.message
                             ),
                             other => panic!("malformed input got success: {other:?}"),
+                        }
+                        responses += 1;
+                    } else if n % 7 == 5 {
+                        // Optimization-search lane: the served report must
+                        // match the offline search bit for bit.
+                        let resp = server.submit(Request {
+                            id: n,
+                            op: Op::Optimize(OptimizeQuery {
+                                model: MODEL.into(),
+                                batch: BASE_BATCH,
+                                devices: Some(vec!["v100".into()]),
+                                batches: Some(OPT_BATCHES.to_vec()),
+                                beam_width: None,
+                                max_depth: Some(1),
+                                top_k: None,
+                                deadline_ms: Some(5_000.0),
+                            }),
+                        });
+                        assert_eq!(resp.id, n);
+                        match resp.body {
+                            Body::Optimization(o) => {
+                                let (baseline_bits, ranked) = &*opt_expected;
+                                assert_eq!(
+                                    o.baseline_e2e_us.to_bits(),
+                                    *baseline_bits,
+                                    "optimize baseline drifted from offline"
+                                );
+                                assert_eq!(o.ranked.len(), ranked.len());
+                                for (served, (desc, e2e_bits, delta_bits)) in
+                                    o.ranked.iter().zip(ranked)
+                                {
+                                    assert_eq!(&served.description, desc);
+                                    assert_eq!(served.e2e_us.to_bits(), *e2e_bits);
+                                    assert_eq!(served.delta_us.to_bits(), *delta_bits);
+                                }
+                                exact += 1;
+                            }
+                            Body::Error(e) => assert!(
+                                matches!(e.code, 429 | 500 | 504),
+                                "optimize request got code {}: {}",
+                                e.code,
+                                e.message
+                            ),
+                            other => panic!("unexpected body: {other:?}"),
                         }
                         responses += 1;
                     } else {
